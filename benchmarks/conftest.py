@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`ResultCache` per session: the experiments share the underlying
+system runs, so regenerating every table/figure costs each simulation once.
+
+Scale selection: set ``REPRO_SCALE=test|bench|full`` (default ``bench`` —
+paper-like loop sizes; ``test`` for a quick pass, ``full`` for overnight
+fidelity runs).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ResultCache
+
+SCALE = os.environ.get("REPRO_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def cache() -> ResultCache:
+    return ResultCache(SCALE)
+
+
+def emit(exp) -> None:
+    """Print a regenerated table under the benchmark output."""
+    print()
+    print(exp.table())
+    if exp.paper_reference:
+        print(f"paper reference: {exp.paper_reference}")

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Author your own kernel and watch the DSA analyze it.
+
+Builds a kernel mixing several of the paper's loop types — a sentinel
+scan, a dynamic-range compute loop and a conditional clamp — inspects the
+lowered ARM-like assembly, runs it under the DSA, and prints the loop
+classification, the CIDP verdicts, and the area/energy accounting.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.isa import DType
+from repro.compiler import (
+    ArrayParam,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Store,
+    Var,
+    While,
+    lower,
+)
+from repro.compiler.ir import add, mul, shr
+from repro.dsa import DynamicSIMDAssembler, FULL_DSA_CONFIG
+from repro.energy import AreaModel, EnergyModel
+from repro.systems import execute_kernel
+
+
+def build_kernel() -> Kernel:
+    i = Var("i")
+    return Kernel(
+        "custom",
+        [ArrayParam("src", DType.I32), ArrayParam("work", DType.I32), ArrayParam("out", DType.I32)],
+        [
+            # sentinel scan: copy the zero-terminated prefix
+            Let("len", Const(0)),
+            While(
+                Compare(Load("src", Var("len")), CmpOp.NE, Const(0)),
+                [
+                    Store("work", Var("len"), Load("src", Var("len"))),
+                    Let("len", add(Var("len"), Const(1))),
+                ],
+            ),
+            # dynamic-range compute over the discovered prefix
+            For("i", Const(0), Var("len"), [Store("work", i, shr(mul(Load("work", i), Const(5)), 1))]),
+            # conditional clamp
+            For(
+                "i", Const(0), Var("len"),
+                [
+                    If(
+                        Compare(Load("work", i), CmpOp.GT, Const(100)),
+                        [Store("out", i, Const(100))],
+                        [Store("out", i, Load("work", i))],
+                    )
+                ],
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    kernel = build_kernel()
+    lowered = lower(kernel)
+    print("lowered scalar assembly (what the DSA observes):\n")
+    print(lowered.asm)
+
+    n = 300
+    src = np.arange(1, n + 1, dtype=np.int32)
+    src[250] = 0
+    args = {"src": src, "work": np.zeros(n, np.int32), "out": np.zeros(n, np.int32)}
+
+    dsa = DynamicSIMDAssembler(FULL_DSA_CONFIG)
+    run = execute_kernel(lowered, args, attach=dsa.attach)
+
+    print(f"cycles: {run.result.cycles:.0f}   instructions: {run.result.instructions}")
+    print(f"loop verdicts: {dict(dsa.stats.verdicts)}")
+    print(f"vectorized invocations: {dict(dsa.stats.vectorized_invocations)}")
+    print(f"iterations covered by NEON bursts: {dsa.stats.iterations_covered}")
+    print(f"leftover techniques used: {dict(dsa.stats.leftover_used)}")
+    print(f"functional verifications run: {dsa.stats.verifications} (all passed)")
+
+    report = EnergyModel().report(run.core, run.result, dsa=dsa)
+    print("\nenergy breakdown (mJ):")
+    for key, value in report.breakdown().items():
+        print(f"  {key:22s} {value:.6f}")
+
+    area = AreaModel()
+    print(f"\nDSA silicon cost: {area.logic_overhead_pct:.2f}% logic, "
+          f"{area.total_overhead_pct:.2f}% with caches (paper, Article 1 Table 3)")
+
+    # sanity: results equal a plain numpy computation
+    expected = np.zeros(n, np.int32)
+    prefix = (np.arange(1, 251, dtype=np.int64) * 5 >> 1).astype(np.int32)
+    expected[:250] = np.minimum(prefix, 100)
+    np.testing.assert_array_equal(run.array("out")[:250], expected[:250])
+    print("\nresults verified against numpy — transparent vectorization confirmed.")
+
+
+if __name__ == "__main__":
+    main()

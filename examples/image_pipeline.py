@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Image pipeline: the multimedia workloads that motivate the paper.
+
+Runs the three image benchmarks (RGB->gray conversion, Gaussian blur,
+SUSAN-style edge detection) through every system and prints the
+performance/energy picture, including the conditional loop that only the
+(extended) DSA and hand-written if-conversion can vectorize.
+
+Run:  python examples/image_pipeline.py [scale]     (scale: test|bench)
+"""
+
+import sys
+
+from repro.systems import SYSTEM_NAMES, run_system
+from repro.workloads import load
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "test"
+    print(f"image pipeline at scale={scale!r}\n")
+    for name in ("rgb_gray", "gaussian", "susan_edges"):
+        workload = load(name, scale)
+        print(f"--- {name}: {workload.description} ---")
+        print(f"    loop mix: {workload.loop_note}")
+        base = None
+        for system in SYSTEM_NAMES:
+            result = run_system(system, workload)
+            if base is None:
+                base = result
+            energy_saving = result.energy_savings_over(base) * 100
+            line = (
+                f"  {system:14s} cycles={result.cycles:9.0f} "
+                f"perf={result.improvement_over(base)*100:+7.1f}%  "
+                f"energy={energy_saving:+6.1f}%"
+            )
+            if result.dsa_stats is not None:
+                line += f"  vectorized={dict(result.dsa_stats.vectorized_invocations)}"
+            print(line)
+        print()
+    print("note: the edge-detection stage contains an if/else loop — the compiler")
+    print("auto-vectorizer rejects it (paper, Table 1 line 12), while the DSA maps")
+    print("each condition at runtime and selects results through its array maps.")
+
+
+if __name__ == "__main__":
+    main()

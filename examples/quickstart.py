@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: runtime DLP detection in five minutes.
+
+Builds a small element-wise kernel, runs it on the four systems of the
+paper (plain ARM, compiler auto-vectorization, hand-written NEON library
+code, and the scalar binary + DSA), and shows that the DSA vectorizes the
+loop at runtime with bit-identical results.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.isa import DType
+from repro.compiler import ArrayParam, Const, For, Kernel, Load, Store, Var, lower
+from repro.compiler.ir import add, mul
+from repro.systems import SYSTEM_NAMES, run_system
+from repro.workloads.base import Workload
+
+
+def make_workload(n: int = 2000) -> Workload:
+    """out[i] = (a[i] + b[i]) * 3 — the classic count loop."""
+    i = Var("i")
+    kernel = Kernel(
+        "quickstart",
+        [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+        [For("i", Const(0), Const(n), [Store("out", i, mul(add(Load("a", i), Load("b", i)), Const(3)))])],
+    )
+
+    def make_args():
+        rng = np.random.default_rng(0)
+        return {
+            "a": rng.integers(-1000, 1000, n).astype(np.int32),
+            "b": rng.integers(-1000, 1000, n).astype(np.int32),
+            "out": np.zeros(n, np.int32),
+        }
+
+    return Workload(
+        name="quickstart",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=lambda args: {"out": ((args["a"] + args["b"]) * 3).astype(np.int32)},
+        output_arrays=["out"],
+    )
+
+
+def main() -> None:
+    workload = make_workload()
+    print("scalar binary the DSA will watch:\n")
+    print(lower(workload.kernel).asm)
+
+    print(f"{'system':16s} {'cycles':>10s} {'vs ARM original':>16s}")
+    base = None
+    for system in SYSTEM_NAMES:
+        result = run_system(system, workload)  # verifies against the golden
+        if base is None:
+            base = result
+        print(f"{system:16s} {result.cycles:10.0f} {result.improvement_over(base)*100:+15.1f}%")
+        if result.dsa_stats is not None:
+            s = result.dsa_stats
+            print(
+                f"{'':16s} DSA: {dict(s.vectorized_invocations)} — "
+                f"{s.iterations_covered} iterations replaced by "
+                f"{s.vector_instructions} NEON instructions "
+                f"(leftovers: {dict(s.leftover_used)})"
+            )
+    print("\nall four systems produced bit-identical results (checked against numpy).")
+
+
+if __name__ == "__main__":
+    main()

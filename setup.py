@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 517
+editable installs (which need ``bdist_wheel``) fail.  Keeping a ``setup.py``
+and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e . --no-build-isolation`` take the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``  regenerate every paper table/figure (or a chosen one)
+``run``          run one workload on one or all systems
+``workloads``    list the available benchmarks
+``asm``          print the lowered assembly of a workload per system
+``area``         print the DSA area table (Article 1, Table 3)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .energy.area import AreaModel
+from .experiments import ALL_EXPERIMENTS, ResultCache
+from .systems.report import ComparisonReport, DSACoverageReport
+from .systems.setups import SYSTEM_NAMES, lower_for, run_system
+from .workloads import PAPER_WORKLOADS, load
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.scale)
+    names = args.only or list(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; available: {sorted(ALL_EXPERIMENTS)}")
+            return 2
+        exp = ALL_EXPERIMENTS[name](scale=args.scale, cache=cache)
+        print(exp.table())
+        if args.paper and exp.paper_reference:
+            print(f"paper reference: {exp.paper_reference}")
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = load(args.workload, args.scale)
+    systems = [args.system] if args.system else list(SYSTEM_NAMES)
+    results = {}
+    for system in systems:
+        results[system] = run_system(system, workload, dsa_stage=args.dsa_stage)
+    if "arm_original" not in results:
+        results["arm_original"] = run_system("arm_original", workload)
+    report = ComparisonReport(workload.name, results)
+    print(report.table())
+    dsa_result = results.get("neon_dsa")
+    if dsa_result is not None and args.verbose:
+        print("\nDSA coverage:")
+        print(DSACoverageReport(dsa_result).table())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name in PAPER_WORKLOADS:
+        workload = load(name, args.scale)
+        print(f"{name:12s} [{workload.dlp_level:6s}] {workload.description}")
+        print(f"{'':12s} loops: {workload.loop_note}")
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    workload = load(args.workload, args.scale)
+    lowered = lower_for(args.system, workload)
+    print(f"; {args.workload} lowered for {args.system}")
+    if lowered.vectorized_loops:
+        print(f"; statically vectorized loops: {lowered.vectorized_loops}")
+    if lowered.guarded_loops:
+        print(f"; runtime-versioned (guarded) loops: {lowered.guarded_loops}")
+    print(lowered.asm)
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    print(AreaModel().table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic SIMD Assembler reproduction (DATE 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.add_argument("--only", nargs="*", help="experiment ids (default: all)")
+    p.add_argument("--paper", action="store_true", help="print paper reference values")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("run", help="run one workload")
+    p.add_argument("workload", choices=sorted(PAPER_WORKLOADS))
+    p.add_argument("--system", choices=SYSTEM_NAMES)
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.add_argument("--dsa-stage", default="full", choices=("original", "extended", "full"))
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("workloads", help="list benchmarks")
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("asm", help="print lowered assembly")
+    p.add_argument("workload", choices=sorted(PAPER_WORKLOADS))
+    p.add_argument("--system", default="arm_original", choices=SYSTEM_NAMES)
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.set_defaults(func=_cmd_asm)
+
+    p = sub.add_parser("area", help="DSA area table")
+    p.set_defaults(func=_cmd_area)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Scalar core model: functional executor, timing, trace records."""
+
+from .config import CPUConfig, DEFAULT_CPU_CONFIG, ScalarLatencies, VectorLatencies
+from .core import Core, CoreResult, run_program
+from .executor import Flags, cond_holds
+from .profile import LoopProfile, LoopProfiler
+from .timing import TimingModel, TimingStats
+from .trace import MemAccess, TraceBuffer, TraceRecord
+
+__all__ = [
+    "CPUConfig",
+    "DEFAULT_CPU_CONFIG",
+    "ScalarLatencies",
+    "VectorLatencies",
+    "Core",
+    "CoreResult",
+    "run_program",
+    "Flags",
+    "cond_holds",
+    "LoopProfile",
+    "LoopProfiler",
+    "TimingModel",
+    "TimingStats",
+    "MemAccess",
+    "TraceBuffer",
+    "TraceRecord",
+]

@@ -1,0 +1,81 @@
+"""Processor configuration (Systems Setup — paper Methodology, Table 4).
+
+All four evaluated systems share the same core: a 2-wide superscalar ARMv7-A
+(gem5 O3CPU in the paper) at 1 GHz with 64 KB L1 / 512 KB L2 LRU caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..memory.hierarchy import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class ScalarLatencies:
+    """Execution latencies (cycles) per scalar instruction class."""
+
+    alu: int = 1
+    mov: int = 1
+    cmp: int = 1
+    mul: int = 3
+    mla: int = 4
+    div: int = 12
+    fadd: int = 4
+    fmul: int = 5
+    fdiv: int = 14
+    load: int = 1   # address generation; the memory hierarchy adds the rest
+    store: int = 1
+    branch: int = 1
+
+
+@dataclass(frozen=True)
+class VectorLatencies:
+    """Execution latencies (cycles) per NEON instruction class.
+
+    The NEON engine runs a 10-stage pipeline decoupled from the core through
+    a 16-entry instruction queue (paper, Conceptual Analysis Section 2.2.2);
+    ``pipeline_depth`` is paid once per burst, per-op costs thereafter.
+    """
+
+    pipeline_depth: int = 10
+    queue_entries: int = 16
+    dispatch_per_cycle: int = 2
+    arith: int = 3
+    mul: int = 5
+    mla: int = 6
+    cmp: int = 3
+    bsl: int = 3
+    shift: int = 3
+    load: int = 2   # plus memory hierarchy latency
+    store: int = 2
+    dup: int = 2
+    lane_mem: int = 2
+    lane_mov: int = 2
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Top-level core configuration."""
+
+    name: str = "gem5-O3CPU (ARMv7-like)"
+    clock_hz: float = 1e9
+    issue_width: int = 2
+    mispredict_penalty: int = 8
+    scalar: ScalarLatencies = field(default_factory=ScalarLatencies)
+    vector: VectorLatencies = field(default_factory=VectorLatencies)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigError("issue width must be at least 1")
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+
+#: the configuration used by every system in the paper's Table 4
+DEFAULT_CPU_CONFIG = CPUConfig()

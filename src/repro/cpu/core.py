@@ -1,0 +1,276 @@
+"""The scalar core: functional execution + timing + retire hooks.
+
+Stands in for the gem5 O3CPU of the paper's methodology.  Every retired
+instruction is delivered to the registered retire hooks as a
+:class:`TraceRecord` — that is the interface the DSA attaches to (the paper
+couples DSA to the fetch stage; retire order equals fetch order here since
+the functional model executes in order).
+
+The DSA replaces timing, never function: a registered ``timing_suppressor``
+may claim an instruction, in which case the core still executes it
+architecturally but charges no cycles and does not touch the cache models
+(the DSA charges the equivalent NEON burst instead).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ExecutionError
+from ..isa.dtypes import to_u32
+from ..isa.instructions import (
+    Alu,
+    AluKind,
+    Branch,
+    BranchReg,
+    Cmp,
+    CmpKind,
+    FloatOp,
+    Halt,
+    Instruction,
+    Mem,
+    Mov,
+    Mul,
+    Nop,
+)
+from ..isa.neon import VInstr
+from ..isa.operands import Cond, LR
+from ..isa.program import INSTRUCTION_BYTES, Program
+from ..memory.backing import MainMemory
+from ..memory.hierarchy import MemoryHierarchy
+from .config import CPUConfig, DEFAULT_CPU_CONFIG
+from .executor import (
+    Flags,
+    alu_compute,
+    cond_holds,
+    effective_address,
+    eval_operand2,
+    flags_for_add,
+    flags_for_logical,
+    flags_for_sub,
+    float_compute,
+    load_to_register,
+    mul_compute,
+)
+from .timing import TimingModel
+from .trace import MemAccess, TraceRecord
+
+RetireHook = Callable[[TraceRecord], None]
+TimingSuppressor = Callable[[TraceRecord], bool]
+
+
+@dataclass
+class CoreResult:
+    """Summary of one simulation run."""
+
+    cycles: float
+    instructions: int
+    seconds: float
+    halted: bool
+    icounts: Counter = field(default_factory=Counter)
+    hierarchy_stats: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class Core:
+    """Functional + timing model of the 2-wide superscalar core."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MainMemory,
+        config: CPUConfig | None = None,
+    ):
+        from ..neon.engine import NeonEngine  # local import to avoid a cycle
+
+        self.program = program
+        self.memory = memory
+        self.config = config or DEFAULT_CPU_CONFIG
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        self.timing = TimingModel(self.config)
+        self.neon = NeonEngine()
+        self.regs: list[int] = [0] * 16
+        self.flags = Flags()
+        self.pc = program.base
+        self.halted = False
+        self.seq = 0
+        self.icounts: Counter = Counter()
+        self.retire_hooks: list[RetireHook] = []
+        self.timing_suppressor: TimingSuppressor | None = None
+
+    # ------------------------------------------------------------------
+    # register convenience (harness-facing)
+    # ------------------------------------------------------------------
+    def set_reg(self, index: int, value: int) -> None:
+        self.regs[index] = to_u32(value)
+
+    def get_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    # ------------------------------------------------------------------
+    def step(self) -> TraceRecord:
+        """Execute and retire one instruction."""
+        if self.halted:
+            raise ExecutionError("core is halted")
+        pc = self.pc
+        instr = self.program.instr_at(pc)
+        reg_reads = tuple((r.index, self.regs[r.index]) for r in sorted(instr.regs_read(), key=lambda r: r.index))
+
+        next_pc = pc + INSTRUCTION_BYTES
+        accesses: list[MemAccess] = []
+        branch_taken: bool | None = None
+        mispredicted = False
+        reads_flags = False
+        sets_flags = False
+
+        if isinstance(instr, VInstr):
+            events = self.neon.execute(instr, self.regs, self.memory)
+            accesses = [MemAccess(e.addr, e.nbytes, e.is_write) for e in events]
+        elif isinstance(instr, Alu):
+            a = self.regs[instr.rn.index]
+            b = eval_operand2(self.regs, instr.op2)
+            result = alu_compute(instr.kind, a, b)
+            self.regs[instr.rd.index] = result
+            if instr.sets_flags:
+                sets_flags = True
+                if instr.kind is AluKind.ADD:
+                    self.flags = flags_for_add(a, b)
+                elif instr.kind is AluKind.SUB:
+                    self.flags = flags_for_sub(a, b)
+                elif instr.kind is AluKind.RSB:
+                    self.flags = flags_for_sub(b, a)
+                else:
+                    self.flags = flags_for_logical(result, self.flags)
+        elif isinstance(instr, Mov):
+            value = eval_operand2(self.regs, instr.op2)
+            self.regs[instr.rd.index] = to_u32(~value) if instr.negate else value
+        elif isinstance(instr, Mul):
+            ra = self.regs[instr.ra.index] if instr.ra is not None else 0
+            self.regs[instr.rd.index] = mul_compute(
+                instr.kind, self.regs[instr.rn.index], self.regs[instr.rm.index], ra
+            )
+        elif isinstance(instr, FloatOp):
+            self.regs[instr.rd.index] = float_compute(
+                instr.kind, self.regs[instr.rn.index], self.regs[instr.rm.index]
+            )
+        elif isinstance(instr, Cmp):
+            sets_flags = True
+            a = self.regs[instr.rn.index]
+            b = eval_operand2(self.regs, instr.op2)
+            if instr.kind is CmpKind.CMP:
+                self.flags = flags_for_sub(a, b)
+            elif instr.kind is CmpKind.CMN:
+                self.flags = flags_for_add(a, b)
+            else:  # TST
+                self.flags = flags_for_logical(a & b, self.flags)
+        elif isinstance(instr, Mem):
+            ea, new_base = effective_address(self.regs, instr.addr)
+            if instr.is_store:
+                raw = self.regs[instr.rd.index] & ((1 << (instr.dtype.size * 8)) - 1)
+                self.memory.write(ea, raw.to_bytes(instr.dtype.size, "little"))
+            else:
+                value = self.memory.read_value(ea, instr.dtype)
+                self.regs[instr.rd.index] = load_to_register(value, instr.dtype)
+            if new_base is not None:
+                self.regs[instr.addr.base.index] = new_base
+            accesses.append(MemAccess(ea, instr.dtype.size, instr.is_store))
+        elif isinstance(instr, Branch):
+            reads_flags = instr.cond is not Cond.AL
+            branch_taken = cond_holds(instr.cond, self.flags)
+            assert isinstance(instr.target, int), "program must be assembled"
+            if instr.link:
+                self.regs[LR] = to_u32(pc + INSTRUCTION_BYTES)
+            if branch_taken:
+                next_pc = instr.target
+            # static BTFN predictor: backward predicted taken, forward not
+            predicted_taken = instr.target < pc
+            mispredicted = branch_taken != predicted_taken
+        elif isinstance(instr, BranchReg):
+            branch_taken = True
+            next_pc = self.regs[instr.rm.index]
+            mispredicted = False  # return-address stack assumed perfect
+        elif isinstance(instr, Halt):
+            self.halted = True
+            next_pc = pc
+        elif isinstance(instr, Nop):
+            pass
+        else:
+            raise ExecutionError(f"cannot execute {instr!r}")
+
+        reg_writes = tuple(
+            (r.index, self.regs[r.index])
+            for r in sorted(instr.regs_written(), key=lambda r: r.index)
+        )
+        record = TraceRecord(
+            seq=self.seq,
+            pc=pc,
+            instr=instr,
+            next_pc=next_pc,
+            accesses=tuple(accesses),
+            branch_taken=branch_taken,
+            reg_reads=reg_reads,
+            reg_writes=reg_writes,
+        )
+
+        suppressed = bool(self.timing_suppressor and self.timing_suppressor(record))
+        if suppressed:
+            self.timing.note_suppressed()
+        else:
+            mem_latency = sum(
+                self.hierarchy.access(a.addr, a.nbytes, a.is_write) for a in accesses
+            )
+            if isinstance(instr, VInstr):
+                self.timing.charge_vector(instr, mem_latency)
+            else:
+                self.timing.charge_scalar(
+                    instr,
+                    mem_latency=mem_latency,
+                    mispredicted=mispredicted,
+                    reads_flags=reads_flags,
+                    sets_flags=sets_flags,
+                )
+
+        self.icounts[type(instr).__name__] += 1
+        self.seq += 1
+        self.pc = next_pc
+        for hook in self.retire_hooks:
+            hook(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 100_000_000) -> CoreResult:
+        """Run until HALT (or the safety limit) and return the summary."""
+        while not self.halted and self.seq < max_instructions:
+            self.step()
+        if not self.halted:
+            raise ExecutionError(
+                f"program did not halt within {max_instructions} instructions"
+            )
+        cycles = self.timing.drain()
+        return CoreResult(
+            cycles=cycles,
+            instructions=self.seq,
+            seconds=self.config.seconds(cycles),
+            halted=self.halted,
+            icounts=self.icounts.copy(),
+            hierarchy_stats=self.hierarchy.stats_dict(),
+        )
+
+
+def run_program(
+    program: Program,
+    memory: MainMemory,
+    regs: dict[int, int] | None = None,
+    config: CPUConfig | None = None,
+    max_instructions: int = 100_000_000,
+) -> CoreResult:
+    """Convenience one-shot runner used by tests and examples."""
+    core = Core(program, memory, config=config)
+    for index, value in (regs or {}).items():
+        core.set_reg(index, value)
+    return core.run(max_instructions=max_instructions)

@@ -1,0 +1,195 @@
+"""Pure functional semantics of the scalar instruction set.
+
+Free functions over explicit state so the core, the DSA's re-execution
+helpers, and the tests all share one implementation.
+Registers are held as unsigned 32-bit integers; signedness is applied at the
+point of use, exactly as hardware does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..isa.dtypes import DType, bits_to_float, float_to_bits, to_s32, to_u32
+from ..isa.instructions import AluKind, FloatKind, MulKind
+from ..isa.operands import Cond, Imm, IndexMode, Operand2, Reg, ShiftedReg, ShiftKind
+
+
+@dataclass
+class Flags:
+    """The NZCV condition flags."""
+
+    n: bool = False
+    z: bool = False
+    c: bool = False
+    v: bool = False
+
+    def set_nz(self, result_u32: int) -> None:
+        self.n = bool(result_u32 & 0x80000000)
+        self.z = result_u32 == 0
+
+    def copy(self) -> "Flags":
+        return Flags(self.n, self.z, self.c, self.v)
+
+
+def eval_operand2(regs: list[int], op2: Operand2) -> int:
+    """Value of a flexible second operand, as an unsigned 32-bit int."""
+    if isinstance(op2, Imm):
+        return to_u32(op2.value)
+    if isinstance(op2, Reg):
+        return regs[op2.index]
+    if isinstance(op2, ShiftedReg):
+        return apply_shift(regs[op2.reg.index], op2.kind, op2.amount)
+    raise ExecutionError(f"bad operand2: {op2!r}")
+
+
+def apply_shift(value: int, kind: ShiftKind, amount: int) -> int:
+    value = to_u32(value)
+    if amount == 0:
+        return value
+    if kind is ShiftKind.LSL:
+        return to_u32(value << amount) if amount < 32 else 0
+    if kind is ShiftKind.LSR:
+        return value >> amount if amount < 32 else 0
+    if kind is ShiftKind.ASR:
+        signed = to_s32(value)
+        return to_u32(signed >> min(amount, 31))
+    raise ExecutionError(f"bad shift kind: {kind!r}")
+
+
+def alu_compute(kind: AluKind, a: int, b: int) -> int:
+    """Compute a data-processing result (unsigned 32-bit in and out)."""
+    a, b = to_u32(a), to_u32(b)
+    if kind is AluKind.ADD:
+        return to_u32(a + b)
+    if kind is AluKind.SUB:
+        return to_u32(a - b)
+    if kind is AluKind.RSB:
+        return to_u32(b - a)
+    if kind is AluKind.AND:
+        return a & b
+    if kind is AluKind.ORR:
+        return a | b
+    if kind is AluKind.EOR:
+        return a ^ b
+    if kind is AluKind.BIC:
+        return a & to_u32(~b)
+    if kind is AluKind.LSL:
+        return apply_shift(a, ShiftKind.LSL, b & 0xFF if b < 256 else 255)
+    if kind is AluKind.LSR:
+        return apply_shift(a, ShiftKind.LSR, b & 0xFF if b < 256 else 255)
+    if kind is AluKind.ASR:
+        return apply_shift(a, ShiftKind.ASR, b & 0xFF if b < 256 else 255)
+    if kind is AluKind.MIN:
+        return to_u32(min(to_s32(a), to_s32(b)))
+    if kind is AluKind.MAX:
+        return to_u32(max(to_s32(a), to_s32(b)))
+    raise ExecutionError(f"bad ALU kind: {kind!r}")
+
+
+def flags_for_add(a: int, b: int) -> Flags:
+    a, b = to_u32(a), to_u32(b)
+    wide = a + b
+    result = to_u32(wide)
+    f = Flags()
+    f.set_nz(result)
+    f.c = wide > 0xFFFFFFFF
+    f.v = bool((~(a ^ b) & (a ^ result)) & 0x80000000)
+    return f
+
+
+def flags_for_sub(a: int, b: int) -> Flags:
+    """Flags for ``a - b`` (ARM convention: C set when no borrow)."""
+    a, b = to_u32(a), to_u32(b)
+    result = to_u32(a - b)
+    f = Flags()
+    f.set_nz(result)
+    f.c = a >= b
+    f.v = bool(((a ^ b) & (a ^ result)) & 0x80000000)
+    return f
+
+
+def flags_for_logical(result: int, previous: Flags) -> Flags:
+    f = previous.copy()
+    f.set_nz(to_u32(result))
+    return f
+
+
+def cond_holds(cond: Cond, f: Flags) -> bool:
+    if cond is Cond.AL:
+        return True
+    if cond is Cond.EQ:
+        return f.z
+    if cond is Cond.NE:
+        return not f.z
+    if cond is Cond.LT:
+        return f.n != f.v
+    if cond is Cond.GE:
+        return f.n == f.v
+    if cond is Cond.GT:
+        return (not f.z) and f.n == f.v
+    if cond is Cond.LE:
+        return f.z or f.n != f.v
+    if cond is Cond.LO:
+        return not f.c
+    if cond is Cond.HS:
+        return f.c
+    if cond is Cond.MI:
+        return f.n
+    if cond is Cond.PL:
+        return not f.n
+    raise ExecutionError(f"bad condition: {cond!r}")
+
+
+def mul_compute(kind: MulKind, rn: int, rm: int, ra: int = 0) -> int:
+    rn_u, rm_u = to_u32(rn), to_u32(rm)
+    if kind is MulKind.MUL:
+        return to_u32(rn_u * rm_u)
+    if kind is MulKind.MLA:
+        return to_u32(rn_u * rm_u + to_u32(ra))
+    if kind is MulKind.SDIV:
+        a, b = to_s32(rn_u), to_s32(rm_u)
+        if b == 0:
+            return 0  # ARMv7 SDIV returns 0 on division by zero
+        q = abs(a) // abs(b)
+        return to_u32(-q if (a < 0) != (b < 0) else q)
+    if kind is MulKind.UDIV:
+        return 0 if rm_u == 0 else rn_u // rm_u
+    raise ExecutionError(f"bad multiply kind: {kind!r}")
+
+
+def float_compute(kind: FloatKind, rn_bits: int, rm_bits: int) -> int:
+    a, b = bits_to_float(rn_bits), bits_to_float(rm_bits)
+    if kind is FloatKind.FADD:
+        r = a + b
+    elif kind is FloatKind.FSUB:
+        r = a - b
+    elif kind is FloatKind.FMUL:
+        r = a * b
+    elif kind is FloatKind.FDIV:
+        r = a / b if b != 0.0 else float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+    else:
+        raise ExecutionError(f"bad float kind: {kind!r}")
+    return float_to_bits(r)
+
+
+def effective_address(regs: list[int], addr) -> tuple[int, int | None]:
+    """Return (effective_address, new_base_value_or_None) for a Mem operand."""
+    base = regs[addr.base.index]
+    offset = eval_operand2(regs, addr.offset)
+    if addr.mode is IndexMode.OFFSET:
+        return to_u32(base + offset), None
+    if addr.mode is IndexMode.PRE:
+        ea = to_u32(base + offset)
+        return ea, ea
+    if addr.mode is IndexMode.POST:
+        return to_u32(base), to_u32(base + offset)
+    raise ExecutionError(f"bad index mode: {addr.mode!r}")
+
+
+def load_to_register(raw_value: int | float, dtype: DType) -> int:
+    """Sign/zero-extend a loaded value into a 32-bit register image."""
+    if dtype.is_float:
+        return float_to_bits(float(raw_value))
+    return to_u32(int(raw_value))

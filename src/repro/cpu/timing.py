@@ -1,0 +1,262 @@
+"""Cycle-accounting model: 2-wide in-order issue with a RAW scoreboard,
+static branch prediction, memory stalls, and a decoupled NEON pipeline.
+
+This stands in for gem5's O3CPU timing.  It is intentionally analytical —
+what the experiments need is a *consistent relative* cost model between the
+scalar pipeline and the NEON engine, which is also all the paper's
+trace-level methodology provided (Methodology, Fig. 30).
+
+The DSA replaces the timing of vectorized loop iterations: the core keeps
+retiring the scalar instructions functionally, but while ``suppressed`` is
+set their cycles are not charged; the DSA charges the NEON burst instead
+(`charge_vector_burst`) plus its own latencies (`add_stall`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import (
+    Alu,
+    AluKind,
+    Branch,
+    BranchReg,
+    Cmp,
+    FloatKind,
+    FloatOp,
+    Halt,
+    Instruction,
+    Mem,
+    Mov,
+    Mul,
+    MulKind,
+    Nop,
+)
+from ..isa.neon import (
+    VBinKind,
+    VBinOp,
+    VBsl,
+    VCmp,
+    VDup,
+    VDupImm,
+    VInstr,
+    VLoad,
+    VLoadLane,
+    VMla,
+    VMovFromCore,
+    VMovQ,
+    VMovToCore,
+    VShiftImm,
+    VStore,
+    VStoreLane,
+    VUnary,
+)
+from .config import CPUConfig
+
+
+@dataclass
+class TimingStats:
+    """Aggregate counters the experiments report."""
+
+    scalar_instructions: int = 0
+    vector_instructions: int = 0
+    suppressed_instructions: int = 0
+    branch_mispredicts: int = 0
+    memory_stall_cycles: int = 0
+    dsa_stall_cycles: int = 0
+
+
+class TimingModel:
+    """Accumulates cycles for a single core + NEON engine."""
+
+    def __init__(self, config: CPUConfig):
+        self.config = config
+        self.stats = TimingStats()
+        self._reg_ready = [0.0] * 16
+        self._flags_ready = 0.0
+        self._q_ready = [0.0] * 16
+        self._now = 0.0          # next scalar issue opportunity
+        self._slot_cycle = -1.0  # cycle of the current issue group
+        self._slots_used = 0
+        self._neon_next_issue = 0.0
+        self._neon_burst_open = False
+        self._last_completion = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        """Total cycles elapsed so far (scalar and vector drained)."""
+        return max(self._now, self._last_completion, self._neon_next_issue)
+
+    # ------------------------------------------------------------------
+    # scalar path
+    # ------------------------------------------------------------------
+    def scalar_latency(self, instr: Instruction) -> int:
+        lat = self.config.scalar
+        if isinstance(instr, Alu):
+            return lat.alu
+        if isinstance(instr, Mov):
+            return lat.mov
+        if isinstance(instr, Cmp):
+            return lat.cmp
+        if isinstance(instr, Mul):
+            if instr.kind is MulKind.MLA:
+                return lat.mla
+            if instr.kind in (MulKind.SDIV, MulKind.UDIV):
+                return lat.div
+            return lat.mul
+        if isinstance(instr, FloatOp):
+            if instr.kind is FloatKind.FDIV:
+                return lat.fdiv
+            if instr.kind is FloatKind.FMUL:
+                return lat.fmul
+            return lat.fadd
+        if isinstance(instr, Mem):
+            return lat.store if instr.is_store else lat.load
+        if isinstance(instr, (Branch, BranchReg)):
+            return lat.branch
+        if isinstance(instr, (Nop, Halt)):
+            return 1
+        raise ValueError(f"no scalar latency for {instr!r}")
+
+    def _issue_slot(self, earliest: float) -> float:
+        """Find the issue cycle respecting the superscalar width."""
+        cycle = max(self._now, earliest)
+        if cycle == self._slot_cycle and self._slots_used < self.config.issue_width:
+            self._slots_used += 1
+        else:
+            cycle = max(cycle, self._slot_cycle + 1 if self._slots_used else cycle)
+            self._slot_cycle = cycle
+            self._slots_used = 1
+        self._now = cycle
+        return cycle
+
+    def charge_scalar(
+        self,
+        instr: Instruction,
+        mem_latency: int = 0,
+        mispredicted: bool = False,
+        reads_flags: bool = False,
+        sets_flags: bool = False,
+    ) -> None:
+        """Account one retired scalar instruction."""
+        self.stats.scalar_instructions += 1
+        earliest = max(
+            (self._reg_ready[r.index] for r in instr.regs_read()),
+            default=0.0,
+        )
+        if reads_flags:
+            earliest = max(earliest, self._flags_ready)
+        issue = self._issue_slot(earliest)
+        completion = issue + self.scalar_latency(instr) + mem_latency
+        if mem_latency:
+            self.stats.memory_stall_cycles += mem_latency
+        writeback_base = (
+            instr.addr.base if isinstance(instr, Mem) and instr.addr.writes_back else None
+        )
+        for r in instr.regs_written():
+            # address-generation writeback (post/pre-index) resolves early,
+            # so pointer-bump loops do not serialize on cache misses
+            if r == writeback_base:
+                self._reg_ready[r.index] = issue + 1
+            else:
+                self._reg_ready[r.index] = completion
+        if sets_flags:
+            self._flags_ready = completion
+        self._last_completion = max(self._last_completion, completion)
+        if mispredicted:
+            self.stats.branch_mispredicts += 1
+            bubble = issue + 1 + self.config.mispredict_penalty
+            self._now = max(self._now, bubble)
+            self._slot_cycle = -1.0
+            self._slots_used = 0
+
+    # ------------------------------------------------------------------
+    # vector path (decoupled NEON pipeline)
+    # ------------------------------------------------------------------
+    def vector_latency(self, instr: VInstr) -> int:
+        lat = self.config.vector
+        if isinstance(instr, (VLoad,)):
+            return lat.load
+        if isinstance(instr, (VStore,)):
+            return lat.store
+        if isinstance(instr, (VLoadLane, VStoreLane)):
+            return lat.lane_mem
+        if isinstance(instr, VBinOp):
+            return lat.mul if instr.kind is VBinKind.VMUL else lat.arith
+        if isinstance(instr, VMla):
+            return lat.mla
+        if isinstance(instr, VCmp):
+            return lat.cmp
+        if isinstance(instr, VBsl):
+            return lat.bsl
+        if isinstance(instr, VShiftImm):
+            return lat.shift
+        if isinstance(instr, (VDup, VDupImm)):
+            return lat.dup
+        if isinstance(instr, (VMovToCore, VMovFromCore)):
+            return lat.lane_mov
+        if isinstance(instr, (VMovQ, VUnary)):
+            return lat.arith
+        raise ValueError(f"no vector latency for {instr!r}")
+
+    def charge_vector(self, instr: VInstr, mem_latency: int = 0) -> None:
+        """Account one NEON instruction dispatched from the core.
+
+        The core spends an issue slot dispatching it; execution proceeds in
+        the NEON pipeline, which sustains one operation per cycle once the
+        burst has filled the pipeline (``pipeline_depth`` is paid on the
+        first instruction of a burst).
+        """
+        self.stats.vector_instructions += 1
+        dispatch = self._issue_slot(
+            max((self._reg_ready[r.index] for r in instr.regs_read()), default=0.0)
+        )
+        start = max(dispatch, self._neon_next_issue)
+        operands_ready = max(
+            (self._q_ready[q.index] for q in instr.qregs_read()), default=0.0
+        )
+        start = max(start, operands_ready)
+        if not self._neon_burst_open:
+            start += self.config.vector.pipeline_depth
+            self._neon_burst_open = True
+        if mem_latency:
+            self.stats.memory_stall_cycles += mem_latency
+        # one operation enters the NEON pipeline per cycle; memory latency
+        # overlaps with later operations (only RAW dependents wait for it)
+        self._neon_next_issue = start + 1
+        completion = start + self.vector_latency(instr) + mem_latency
+        for q in instr.qregs_written():
+            self._q_ready[q.index] = completion
+        for r in instr.regs_written():
+            # base-register writeback resolves at address generation, not at
+            # data return, so pointer-bump chains do not serialize on misses
+            self._reg_ready[r.index] = start + 1 if instr.is_load or instr.is_store else completion
+        self._last_completion = max(self._last_completion, completion)
+
+    def end_vector_burst(self) -> None:
+        """Mark the end of a NEON burst; the next one pays the fill again."""
+        self._neon_burst_open = False
+
+    # ------------------------------------------------------------------
+    # DSA hooks
+    # ------------------------------------------------------------------
+    def note_suppressed(self) -> None:
+        """A scalar instruction retired functionally with its timing replaced."""
+        self.stats.suppressed_instructions += 1
+
+    def add_stall(self, cycles: float, kind: str = "dsa") -> None:
+        """Charge a flat stall (pipeline flush, DSA overheads, ...)."""
+        if cycles < 0:
+            raise ValueError("stall cycles must be non-negative")
+        self._now = self.cycles + cycles
+        self._slot_cycle = -1.0
+        self._slots_used = 0
+        self._last_completion = max(self._last_completion, self._now)
+        if kind == "dsa":
+            self.stats.dsa_stall_cycles += cycles
+
+    def drain(self) -> float:
+        """Wait for everything in flight; returns the final cycle count."""
+        self._now = self.cycles
+        return self._now

@@ -1,0 +1,48 @@
+"""The Dynamic SIMD Assembler: runtime DLP detection (the paper's core)."""
+
+from .caches import ArrayMaps, DSACache, VerificationCache
+from .config import (
+    DSAConfig,
+    DSAFeatures,
+    DSALatencies,
+    EXTENDED_DSA_CONFIG,
+    FULL_DSA_CONFIG,
+    ORIGINAL_DSA_CONFIG,
+)
+from .engine import (
+    CacheEntry,
+    DSAStats,
+    DSAVerificationError,
+    DynamicSIMDAssembler,
+    Leftover,
+    LoopKind,
+)
+from .snapshot import RegionSnapshot
+from .streams import CIDVerdict, MemStream, predict_cid, safe_chunk
+from .template import LoopTemplate, TemplateReject, build_template
+
+__all__ = [
+    "ArrayMaps",
+    "DSACache",
+    "VerificationCache",
+    "DSAConfig",
+    "DSAFeatures",
+    "DSALatencies",
+    "EXTENDED_DSA_CONFIG",
+    "FULL_DSA_CONFIG",
+    "ORIGINAL_DSA_CONFIG",
+    "CacheEntry",
+    "DSAStats",
+    "DSAVerificationError",
+    "DynamicSIMDAssembler",
+    "Leftover",
+    "LoopKind",
+    "RegionSnapshot",
+    "CIDVerdict",
+    "MemStream",
+    "predict_cid",
+    "safe_chunk",
+    "LoopTemplate",
+    "TemplateReject",
+    "build_template",
+]

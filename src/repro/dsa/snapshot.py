@@ -1,0 +1,55 @@
+"""Region snapshots: cheap memory captures for functional verification.
+
+Cloning the whole simulated memory per vectorized loop would dominate
+simulation time; the DSA only needs the regions its streams will read,
+captured before the covered iterations start mutating them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryError_
+from ..isa.dtypes import DType
+from ..memory.backing import MainMemory
+
+
+class RegionSnapshot:
+    """A sparse, writable snapshot of selected memory regions."""
+
+    def __init__(self) -> None:
+        self._regions: list[tuple[int, bytearray]] = []
+
+    def capture(self, memory: MainMemory, start: int, length: int) -> None:
+        """Copy ``length`` bytes at ``start`` (clamped to the memory)."""
+        start = max(0, start)
+        end = min(memory.size, start + max(0, length))
+        if end <= start:
+            return
+        self._regions.append((start, bytearray(memory.read(start, end - start))))
+
+    def covers(self, addr: int, nbytes: int) -> bool:
+        return any(s <= addr and addr + nbytes <= s + len(b) for s, b in self._regions)
+
+    def _locate(self, addr: int, nbytes: int) -> tuple[int, bytearray]:
+        for start, buf in self._regions:
+            if start <= addr and addr + nbytes <= start + len(buf):
+                return start, buf
+        raise MemoryError_(f"snapshot does not cover 0x{addr:x}+{nbytes}")
+
+    def read_value(self, addr: int, dtype: DType) -> int | float:
+        start, buf = self._locate(addr, dtype.size)
+        off = addr - start
+        return dtype.unpack(bytes(buf[off : off + dtype.size]))
+
+    def write_value(self, addr: int, value: int | float, dtype: DType) -> None:
+        start, buf = self._locate(addr, dtype.size)
+        off = addr - start
+        buf[off : off + dtype.size] = dtype.pack(value)
+
+    def read_block(self, addr: int, count: int, dtype: DType) -> np.ndarray:
+        """Fast contiguous read of ``count`` elements."""
+        start, buf = self._locate(addr, dtype.size * count)
+        off = addr - start
+        raw = bytes(buf[off : off + dtype.size * count])
+        return np.frombuffer(raw, dtype=dtype.numpy).copy()

@@ -1,0 +1,21 @@
+"""Energy and area models (McPAT / RTL-flow substitutes)."""
+
+from .area import AreaModel, AreaRow
+from .model import EnergyModel, EnergyReport
+from .params import (
+    AreaParams,
+    DEFAULT_AREA_PARAMS,
+    DEFAULT_ENERGY_PARAMS,
+    EnergyParams,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaRow",
+    "EnergyModel",
+    "EnergyReport",
+    "AreaParams",
+    "DEFAULT_AREA_PARAMS",
+    "DEFAULT_ENERGY_PARAMS",
+    "EnergyParams",
+]

@@ -1,0 +1,62 @@
+"""Area accounting — regenerates Article 1, Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import DEFAULT_AREA_PARAMS, AreaParams
+
+
+@dataclass(frozen=True)
+class AreaRow:
+    component: str
+    cell_um2: float
+    net_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return self.cell_um2 + self.net_um2
+
+
+class AreaModel:
+    """DSA area overhead over the ARM core (paper Article 1, Table 3)."""
+
+    def __init__(self, params: AreaParams | None = None):
+        self.params = params or DEFAULT_AREA_PARAMS
+
+    def logic_rows(self) -> list[AreaRow]:
+        p = self.params
+        return [
+            AreaRow("ARM Core", p.arm_core_cell, p.arm_core_net),
+            AreaRow("DSA", p.dsa_logic_cell, p.dsa_logic_net),
+        ]
+
+    def full_rows(self) -> list[AreaRow]:
+        p = self.params
+        return [
+            AreaRow("ARM Core + Caches", p.arm_with_caches_cell, p.arm_with_caches_net),
+            AreaRow("DSA + Caches", p.dsa_with_caches_cell, p.dsa_with_caches_net),
+        ]
+
+    @property
+    def logic_overhead_pct(self) -> float:
+        return self.params.logic_overhead * 100.0
+
+    @property
+    def total_overhead_pct(self) -> float:
+        return self.params.total_overhead * 100.0
+
+    def table(self) -> str:
+        """Render Table 3 of Article 1."""
+        lines = ["Component            Cell(um2)   Net(um2)    Total(um2)"]
+        for row in self.logic_rows():
+            lines.append(
+                f"{row.component:<20} {row.cell_um2:>10.0f} {row.net_um2:>10.0f} {row.total_um2:>12.0f}"
+            )
+        lines.append(f"Area overhead: {self.logic_overhead_pct:.2f}%")
+        for row in self.full_rows():
+            lines.append(
+                f"{row.component:<20} {row.cell_um2:>10.0f} {row.net_um2:>10.0f} {row.total_um2:>12.0f}"
+            )
+        lines.append(f"Total area overhead: {self.total_overhead_pct:.2f}%")
+        return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Energy and area parameters (Cadence RTL Compiler / McPAT substitute).
+
+The paper gathers energy from an RTL flow (DSA) and McPAT (core); this
+module provides the analytical equivalents: per-event dynamic energies and
+per-component leakage powers, in picojoules and milliwatts, at a 40 nm-class
+operating point.  Absolute values are representative, not calibrated — the
+experiments only use *ratios* between systems, which depend on the event
+counts the simulator produces.
+
+Area constants reproduce the published DSA synthesis results (Article 1,
+Table 3): 2.18% logic overhead over the ARM core, 10.37% including the DSA
+and verification caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event dynamic energies (pJ) and leakage powers (mW)."""
+
+    # -- scalar core, per retired instruction --------------------------
+    fetch_decode_pj: float = 12.0
+    alu_pj: float = 8.0
+    mul_pj: float = 20.0
+    div_pj: float = 60.0
+    float_pj: float = 25.0
+    branch_pj: float = 4.0
+    regfile_pj: float = 2.0
+
+    # -- memory hierarchy, per access -----------------------------------
+    l1_access_pj: float = 20.0
+    l2_access_pj: float = 80.0
+    dram_access_pj: float = 2000.0
+
+    # -- NEON engine, per 128-bit operation ------------------------------
+    neon_arith_pj: float = 30.0
+    neon_mem_pj: float = 35.0
+    neon_lane_pj: float = 10.0
+
+    # -- DSA, per stage activation (Article 3, Table 3 scenarios) -------
+    dsa_loop_detection_pj: float = 2.0
+    dsa_collection_record_pj: float = 1.5
+    dsa_dependency_pj: float = 3.0
+    dsa_execution_pj: float = 4.0
+    dsa_mapping_pj: float = 2.0
+    dsa_speculative_pj: float = 3.0
+    dsa_cache_access_pj: float = 8.0
+    dsa_vcache_access_pj: float = 4.0
+
+    # -- leakage (mW), integrated over runtime ---------------------------
+    core_leakage_mw: float = 150.0
+    caches_leakage_mw: float = 60.0
+    neon_leakage_mw: float = 40.0
+    dsa_leakage_mw: float = 3.0
+
+
+DEFAULT_ENERGY_PARAMS = EnergyParams()
+
+
+@dataclass(frozen=True)
+class AreaParams:
+    """Synthesis areas in um^2 (Article 1, Table 3 — published numbers)."""
+
+    arm_core_cell: float = 391_158.0
+    arm_core_net: float = 219_015.0
+    dsa_logic_cell: float = 8_667.0
+    dsa_logic_net: float = 4_607.0
+    arm_with_caches_cell: float = 512_912.0
+    arm_with_caches_net: float = 279_801.0
+    dsa_with_caches_cell: float = 53_716.0
+    dsa_with_caches_net: float = 28_520.0
+
+    @property
+    def arm_core_total(self) -> float:
+        return self.arm_core_cell + self.arm_core_net
+
+    @property
+    def dsa_logic_total(self) -> float:
+        return self.dsa_logic_cell + self.dsa_logic_net
+
+    @property
+    def arm_with_caches_total(self) -> float:
+        return self.arm_with_caches_cell + self.arm_with_caches_net
+
+    @property
+    def dsa_with_caches_total(self) -> float:
+        return self.dsa_with_caches_cell + self.dsa_with_caches_net
+
+    @property
+    def logic_overhead(self) -> float:
+        """DSA detection logic as a fraction of the ARM core (~2.18%)."""
+        return self.dsa_logic_total / self.arm_core_total
+
+    @property
+    def total_overhead(self) -> float:
+        """DSA + caches as a fraction of the ARM system (~10.37%)."""
+        return self.dsa_with_caches_total / self.arm_with_caches_total
+
+
+DEFAULT_AREA_PARAMS = AreaParams()

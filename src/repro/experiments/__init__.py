@@ -1,0 +1,40 @@
+"""Per-table/figure experiment harnesses (see DESIGN.md section 4)."""
+
+from . import (
+    art1_fig12,
+    art1_table3,
+    art2_fig16,
+    art2_table3,
+    art3_fig7,
+    art3_fig8,
+    art3_fig9,
+    art3_table2,
+    art3_table3,
+    fig_neon_parallelism,
+    table4_setup,
+)
+from .common import Experiment, ResultCache
+
+#: every reproducible table/figure, keyed by experiment id
+ALL_EXPERIMENTS = {
+    "table4": table4_setup.run,
+    "art1_fig12": art1_fig12.run,
+    "art1_table3": art1_table3.run,
+    "art2_fig16": art2_fig16.run,
+    "art2_table3": art2_table3.run,
+    "art3_fig7": art3_fig7.run,
+    "art3_fig8": art3_fig8.run,
+    "art3_fig9": art3_fig9.run,
+    "art3_table2": art3_table2.run,
+    "art3_table3": art3_table3.run,
+    "fig_neon_parallelism": fig_neon_parallelism.run,
+}
+
+
+def run_all(scale: str = "test") -> dict[str, Experiment]:
+    """Regenerate every table and figure; shares one result cache."""
+    cache = ResultCache(scale)
+    return {exp_id: fn(scale=scale, cache=cache) for exp_id, fn in ALL_EXPERIMENTS.items()}
+
+
+__all__ = ["ALL_EXPERIMENTS", "Experiment", "ResultCache", "run_all"]

@@ -1,0 +1,27 @@
+"""Article 1, Table 3 — DSA area overhead."""
+
+from __future__ import annotations
+
+from ..energy.area import AreaModel
+from .common import Experiment
+
+PAPER_REFERENCE = {
+    "logic_overhead_pct": 2.18,
+    "total_overhead_pct": 10.37,
+}
+
+
+def run(scale: str = "test", cache=None) -> Experiment:
+    model = AreaModel()
+    rows = []
+    for row in model.logic_rows() + model.full_rows():
+        rows.append([row.component, round(row.cell_um2), round(row.net_um2), round(row.total_um2)])
+    rows.append(["Area overhead (logic)", "", "", f"{model.logic_overhead_pct:.2f}%"])
+    rows.append(["Total area overhead", "", "", f"{model.total_overhead_pct:.2f}%"])
+    return Experiment(
+        exp_id="art1_table3",
+        title="Area overhead of DSA (um^2)",
+        columns=["component", "cell", "net", "total"],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

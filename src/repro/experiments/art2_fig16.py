@@ -1,0 +1,48 @@
+"""Article 2, Fig. 16 — autovec vs original DSA vs extended DSA.
+
+The extension adds conditional-code and dynamic-range loop coverage;
+the paper highlights BitCounts (+45%) and Dijkstra (+32%) over the ARM
+original, +38.5% over the original DSA on the dynamic-loop apps, and
++12% over auto-vectorization overall.
+"""
+
+from __future__ import annotations
+
+from .common import ARTICLE2_WORKLOADS, Experiment, ResultCache, geomean_improvement
+
+PAPER_REFERENCE = {
+    "summary": "Extended DSA: BitCounts +45%, Dijkstra +32% over original execution; "
+    "avg +37% over ARM original; +38.5% over original DSA on dynamic-loop apps; "
+    "+12% over autovec; autovec penalty -1% on QSort",
+    "extended_avg": 37.0,
+    "extended_vs_autovec": 12.0,
+}
+
+
+def run(scale: str = "test", cache: ResultCache | None = None) -> Experiment:
+    cache = cache or ResultCache(scale)
+    rows = []
+    columns_values = {"auto": [], "orig": [], "ext": []}
+    for name in ARTICLE2_WORKLOADS:
+        auto = cache.improvement(name, "neon_autovec")
+        orig = cache.improvement(name, "neon_dsa", dsa_stage="original")
+        ext = cache.improvement(name, "neon_dsa", dsa_stage="extended")
+        columns_values["auto"].append(auto)
+        columns_values["orig"].append(orig)
+        columns_values["ext"].append(ext)
+        rows.append([name, round(auto, 1), round(orig, 1), round(ext, 1)])
+    rows.append(
+        [
+            "AVERAGE",
+            round(geomean_improvement(columns_values["auto"]), 1),
+            round(geomean_improvement(columns_values["orig"]), 1),
+            round(geomean_improvement(columns_values["ext"]), 1),
+        ]
+    )
+    return Experiment(
+        exp_id="art2_fig16",
+        title="Improvement over ARM original (%): autovec vs original DSA vs extended DSA",
+        columns=["benchmark", "neon_autovec_%", "dsa_original_%", "dsa_extended_%"],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

@@ -1,0 +1,46 @@
+"""Article 2, Table 3 — DSA detection latency.
+
+Time the DSA spends detecting vectorizable loops, as a percentage of each
+benchmark's execution: hidden work (the DSA analyzes in parallel with the
+core — no end-to-end penalty), but the paper reports its magnitude.
+"""
+
+from __future__ import annotations
+
+from .common import ARTICLE2_WORKLOADS, Experiment, ResultCache
+
+PAPER_REFERENCE = {
+    "summary": "Dijkstra and BitCounts spend the most time detecting (dynamic "
+    "loops re-verify per invocation); static-loop apps ~1.5%; QSort 1.02% "
+    "analyzing loops it never vectorizes; all hidden by parallelism",
+    "static_apps_pct": 1.5,
+    "qsort_pct": 1.02,
+}
+
+
+def run(scale: str = "test", cache: ResultCache | None = None) -> Experiment:
+    cache = cache or ResultCache(scale)
+    rows = []
+    for name in ARTICLE2_WORKLOADS:
+        result = cache.run(name, "neon_dsa", dsa_stage="extended")
+        stats = result.dsa_stats
+        assert stats is not None
+        pct = 100.0 * stats.detection_cycles / result.cycles if result.cycles else 0.0
+        rows.append(
+            [
+                name,
+                round(stats.detection_cycles),
+                round(result.cycles),
+                round(pct, 2),
+                round(stats.stall_cycles),
+            ]
+        )
+    return Experiment(
+        exp_id="art2_table3",
+        title="DSA detection latency (parallel cycles, % of execution, charged stalls)",
+        columns=["benchmark", "detect_cycles", "total_cycles", "detect_%", "stall_cycles"],
+        rows=rows,
+        notes="detect_cycles overlap the core (no penalty); stall_cycles are the "
+        "charged hand-off costs (pipeline flush, cache accesses, selects).",
+        paper_reference=PAPER_REFERENCE,
+    )

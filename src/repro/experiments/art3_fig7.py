@@ -1,0 +1,49 @@
+"""Article 3, Fig. 7 — percentage of loop types per application.
+
+The dynamic census from the DSA's own classifier: every loop the DSA
+detects is classified into the paper's taxonomy; percentages are over the
+distinct loops detected per benchmark.
+"""
+
+from __future__ import annotations
+
+from ..dsa.engine import LoopKind
+from .common import ARTICLE3_WORKLOADS, Experiment, ResultCache
+
+PAPER_REFERENCE = {
+    "summary": "high-DLP apps are dominated by count loops; Susan mixes count "
+    "and conditional; BitCounts and Dijkstra carry the sentinel / dynamic "
+    "range / conditional loops; QSort's loops are non-vectorizable",
+}
+
+_KINDS = [
+    LoopKind.COUNT,
+    LoopKind.FUNCTION,
+    LoopKind.DYNAMIC_RANGE,
+    LoopKind.CONDITIONAL,
+    LoopKind.SENTINEL,
+    LoopKind.PARTIAL,
+    LoopKind.NESTED_OUTER,
+    LoopKind.NON_VECTORIZABLE,
+]
+
+
+def run(scale: str = "test", cache: ResultCache | None = None) -> Experiment:
+    cache = cache or ResultCache(scale)
+    rows = []
+    for name in ARTICLE3_WORKLOADS:
+        result = cache.run(name, "neon_dsa", dsa_stage="full")
+        stats = result.dsa_stats
+        assert stats is not None
+        total = sum(stats.verdicts.values()) or 1
+        rows.append(
+            [name]
+            + [round(100.0 * stats.verdicts.get(kind.value, 0) / total, 1) for kind in _KINDS]
+        )
+    return Experiment(
+        exp_id="art3_fig7",
+        title="Loop types per application (% of distinct loops the DSA classified)",
+        columns=["benchmark"] + [k.value for k in _KINDS],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

@@ -1,0 +1,41 @@
+"""Article 3, Fig. 9 — energy savings over the ARM original execution."""
+
+from __future__ import annotations
+
+from .common import ARTICLE3_WORKLOADS, Experiment, ResultCache, geomean_improvement
+
+PAPER_REFERENCE = {
+    "summary": "the DSA achieves 45% energy savings over the ARM original "
+    "execution (shorter runtime cuts leakage; NEON ops replace many scalar ops)",
+    "dsa_savings_pct": 45.0,
+}
+
+
+def run(scale: str = "test", cache: ResultCache | None = None) -> Experiment:
+    cache = cache or ResultCache(scale)
+    rows = []
+    sums = {"auto": [], "hand": [], "dsa": []}
+    for name in ARTICLE3_WORKLOADS:
+        base = cache.run(name, "arm_original")
+        auto = cache.run(name, "neon_autovec").energy_savings_over(base) * 100
+        hand = cache.run(name, "neon_handvec").energy_savings_over(base) * 100
+        dsa = cache.run(name, "neon_dsa", dsa_stage="full").energy_savings_over(base) * 100
+        sums["auto"].append(auto)
+        sums["hand"].append(hand)
+        sums["dsa"].append(dsa)
+        rows.append([name, round(auto, 1), round(hand, 1), round(dsa, 1)])
+    rows.append(
+        [
+            "AVERAGE",
+            round(geomean_improvement(sums["auto"]), 1),
+            round(geomean_improvement(sums["hand"]), 1),
+            round(geomean_improvement(sums["dsa"]), 1),
+        ]
+    )
+    return Experiment(
+        exp_id="art3_fig9",
+        title="Energy savings over ARM original (%): autovec vs hand vs full DSA",
+        columns=["benchmark", "neon_autovec_%", "neon_handvec_%", "dsa_full_%"],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

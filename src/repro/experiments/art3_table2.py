@@ -1,0 +1,36 @@
+"""Article 3, Table 2 — DSA detection latency per benchmark (full DSA)."""
+
+from __future__ import annotations
+
+from .common import ARTICLE3_WORKLOADS, Experiment, ResultCache
+
+PAPER_REFERENCE = {
+    "summary": "detection runs in parallel with the ARM pipeline: the paper "
+    "reports per-benchmark detection latency with no end-to-end penalty",
+}
+
+
+def run(scale: str = "test", cache: ResultCache | None = None) -> Experiment:
+    cache = cache or ResultCache(scale)
+    rows = []
+    for name in ARTICLE3_WORKLOADS:
+        result = cache.run(name, "neon_dsa", dsa_stage="full")
+        stats = result.dsa_stats
+        assert stats is not None
+        pct = 100.0 * stats.detection_cycles / result.cycles if result.cycles else 0.0
+        rows.append(
+            [
+                name,
+                stats.loops_detected,
+                round(stats.detection_cycles),
+                round(pct, 2),
+                stats.analyses_aborted,
+            ]
+        )
+    return Experiment(
+        exp_id="art3_table2",
+        title="DSA detection latency (full DSA)",
+        columns=["benchmark", "loops_detected", "detect_cycles", "detect_%", "abandoned"],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

@@ -1,0 +1,83 @@
+"""Shared infrastructure for the per-table/figure experiments.
+
+Every experiment returns an :class:`Experiment` holding labelled rows plus
+the paper's reference values, so EXPERIMENTS.md and the benchmark harness
+print paper-vs-measured side by side.  A :class:`ResultCache` memoizes
+(workload, system, stage, scale) runs because several experiments share the
+same underlying simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..systems.setups import SystemResult, run_system
+from ..workloads import load
+
+
+@dataclass
+class Experiment:
+    """One regenerated table or figure."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[list]
+    notes: str = ""
+    paper_reference: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        widths = [
+            max(len(str(col)), max((len(_fmt(r[i])) for r in self.rows), default=0))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def row_dict(self) -> dict:
+        return {str(r[0]): r[1:] for r in self.rows}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+class ResultCache:
+    """Memoizes system runs shared across experiments."""
+
+    def __init__(self, scale: str = "test"):
+        self.scale = scale
+        self._runs: dict[tuple, SystemResult] = {}
+
+    def run(self, workload_name: str, system: str, dsa_stage: str = "full") -> SystemResult:
+        key = (workload_name, system, dsa_stage if system == "neon_dsa" else "-")
+        if key not in self._runs:
+            workload = load(workload_name, self.scale)
+            self._runs[key] = run_system(system, workload, dsa_stage=dsa_stage)
+        return self._runs[key]
+
+    def improvement(self, workload_name: str, system: str, dsa_stage: str = "full") -> float:
+        """Performance improvement (%) over the ARM original execution."""
+        base = self.run(workload_name, "arm_original")
+        result = self.run(workload_name, system, dsa_stage)
+        return result.improvement_over(base) * 100.0
+
+
+#: the benchmark order the paper's figures use
+ARTICLE1_WORKLOADS = ["matmul", "rgb_gray", "gaussian", "susan_edges", "qsort", "dijkstra"]
+ARTICLE2_WORKLOADS = ["bitcount", "dijkstra", "susan_edges", "matmul", "rgb_gray", "gaussian", "qsort"]
+ARTICLE3_WORKLOADS = ["matmul", "rgb_gray", "gaussian", "susan_edges", "bitcount", "dijkstra", "qsort"]
+
+
+def geomean_improvement(values: list[float]) -> float:
+    """Average improvement the way the paper quotes it (arithmetic mean of
+    per-benchmark percentages)."""
+    return sum(values) / len(values) if values else 0.0

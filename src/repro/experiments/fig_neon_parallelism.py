@@ -1,0 +1,26 @@
+"""Conceptual Fig. 4 / Article 1 Fig. 11 — NEON parallelism by element type."""
+
+from __future__ import annotations
+
+from ..isa.dtypes import DType
+from .common import Experiment
+
+PAPER_REFERENCE = {
+    "summary": "16 ops with 8-bit integers ... 4 ops with 32-bit floats, on the "
+    "128-bit wide NEON engine",
+    "i8_lanes": 16,
+    "f32_lanes": 4,
+}
+
+
+def run(scale: str = "test", cache=None) -> Experiment:
+    rows = []
+    for dtype in (DType.I8, DType.U8, DType.I16, DType.U16, DType.I32, DType.U32, DType.F32, DType.I64):
+        rows.append([str(dtype), dtype.bits, dtype.lanes])
+    return Experiment(
+        exp_id="fig_neon_parallelism",
+        title="NEON parallelism degrees (128-bit engine)",
+        columns=["element_type", "bits", "parallel_ops"],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

@@ -1,0 +1,44 @@
+"""Methodology Table 4 — Systems Setup."""
+
+from __future__ import annotations
+
+from ..cpu.config import DEFAULT_CPU_CONFIG
+from ..dsa.config import FULL_DSA_CONFIG
+from .common import Experiment
+
+PAPER_REFERENCE = {
+    "Superscalar Width": "2 wide",
+    "CPU Clock": "1GHz",
+    "L1 Cache": "64 kb",
+    "L2 Cache": "512 kb",
+    "Cache Policy": "LRU",
+    "NEON": "128-bit wide, sixteen Q registers",
+    "DSA Cache": "8 kb",
+    "Verification Cache": "1 kb",
+    "Array Maps": "4 (128-bit wide)",
+}
+
+
+def run(scale: str = "test", cache=None) -> Experiment:
+    cpu = DEFAULT_CPU_CONFIG
+    dsa = FULL_DSA_CONFIG
+    rows = [
+        ["Processor", cpu.name],
+        ["Superscalar Width", f"{cpu.issue_width} wide"],
+        ["CPU Clock", f"{cpu.clock_hz / 1e9:.0f}GHz"],
+        ["L1 Cache", f"{cpu.hierarchy.l1.size_bytes // 1024} kb"],
+        ["L2 Cache", f"{cpu.hierarchy.l2.size_bytes // 1024} kb"],
+        ["Cache Policy", "LRU"],
+        ["Parallelism (NEON)", "Type dependent, 128-bit wide"],
+        ["NEON Registers", "Sixteen 128-bit (Q0-Q15)"],
+        ["DSA Cache", f"{dsa.dsa_cache_bytes // 1024} kb"],
+        ["Verification Cache", f"{dsa.verification_cache_bytes // 1024} kb"],
+        ["Array Maps", f"{dsa.array_maps} (128-bit wide)"],
+    ]
+    return Experiment(
+        exp_id="table4",
+        title="Systems Setup (Methodology, Table 4)",
+        columns=["Configuration", "Value"],
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+    )

@@ -1,0 +1,427 @@
+"""Two-pass text assembler for the scalar + NEON instruction set.
+
+The accepted syntax mirrors ARM unified assembly closely enough that the
+examples in the paper read naturally::
+
+    loop:
+        ldr   r3, [r5], #4
+        ldr   r4, [r6], #4
+        add   r3, r3, r4
+        str   r3, [r7], #4
+        add   r0, r0, #1
+        cmp   r0, #100
+        blt   loop
+        halt
+
+    vld1.i32  q0, [r5]!
+    vadd.i32  q2, q0, q1
+    vdup.i32  q3, r2
+    vbsl      q4, q5, q6
+    vmov.i32  r3, q0[1]
+
+Comments start with ``;``, ``@`` or ``//``.  Labels end with ``:`` and may
+share a line with an instruction.  Immediates are written ``#value`` and may
+be negative or hexadecimal.  (Real ARM restricts which immediates encode into
+a data-processing instruction; like the paper's trace-level model we ignore
+encoding limits.)
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblerError
+from .dtypes import DType
+from .instructions import (
+    Alu,
+    AluKind,
+    Branch,
+    BranchReg,
+    Cmp,
+    CmpKind,
+    FloatKind,
+    FloatOp,
+    Halt,
+    Instruction,
+    Mem,
+    Mov,
+    Mul,
+    MulKind,
+    Nop,
+)
+from .neon import (
+    VBinKind,
+    VBinOp,
+    VBsl,
+    VCmp,
+    VCmpKind,
+    VDup,
+    VDupImm,
+    VLoad,
+    VLoadLane,
+    VMla,
+    VMovFromCore,
+    VMovQ,
+    VMovToCore,
+    VShiftImm,
+    VShiftKind,
+    VStore,
+    VStoreLane,
+    VUnary,
+    VUnaryKind,
+)
+from .operands import (
+    Address,
+    Cond,
+    Imm,
+    IndexMode,
+    Operand2,
+    QReg,
+    Reg,
+    ShiftedReg,
+    ShiftKind,
+)
+from .program import DEFAULT_TEXT_BASE, INSTRUCTION_BYTES, Program
+
+_ALU_KINDS = {k.value: k for k in AluKind}
+_MUL_KINDS = {k.value: k for k in MulKind}
+_FLOAT_KINDS = {k.value: k for k in FloatKind}
+_CMP_KINDS = {k.value: k for k in CmpKind}
+_VBIN_KINDS = {k.value: k for k in VBinKind}
+_VCMP_KINDS = {k.value: k for k in VCmpKind}
+_VUNARY_KINDS = {k.value: k for k in VUnaryKind}
+_VSHIFT_KINDS = {k.value: k for k in VShiftKind}
+_CONDS = {c.value: c for c in Cond if c is not Cond.AL}
+
+_MEM_MNEMONICS = {
+    "ldr": (False, DType.I32),
+    "ldrb": (False, DType.U8),
+    "ldrsb": (False, DType.I8),
+    "ldrh": (False, DType.U16),
+    "ldrsh": (False, DType.I16),
+    "str": (True, DType.I32),
+    "strb": (True, DType.U8),
+    "strh": (True, DType.U16),
+}
+
+_LANE_RE = re.compile(r"^(q\d+)\[(\d+)\]$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "@", "//"):
+        idx = line.find(marker)
+        if idx != -1:
+            line = line[:idx]
+    return line.strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on top-level commas (commas inside ``[...]`` stay put)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_int(text: str) -> int:
+    t = text.strip().lower()
+    neg = t.startswith("-")
+    if neg:
+        t = t[1:]
+    value = int(t, 16) if t.startswith("0x") else int(t, 10)
+    return -value if neg else value
+
+
+def _parse_imm(text: str) -> Imm:
+    t = text.strip()
+    if not t.startswith("#"):
+        raise ValueError(f"immediate must start with '#': {text!r}")
+    return Imm(_parse_int(t[1:]))
+
+
+def _parse_shift(text: str) -> tuple[ShiftKind, int]:
+    m = re.match(r"^(lsl|lsr|asr)\s+#(-?(?:0x)?[0-9a-fA-F]+)$", text.strip(), re.IGNORECASE)
+    if not m:
+        raise ValueError(f"bad shift specifier: {text!r}")
+    return ShiftKind(m.group(1).lower()), _parse_int(m.group(2))
+
+
+def _merge_shift_operand(parts: list[str]) -> list[str]:
+    """Fuse ``['r4', 'lsl #2']`` tails into a single ShiftedReg-ready string."""
+    if len(parts) >= 2 and re.match(r"^(lsl|lsr|asr)\s", parts[-1], re.IGNORECASE):
+        merged = parts[:-2] + [parts[-2] + ", " + parts[-1]]
+        return merged
+    return parts
+
+
+def _parse_operand2(text: str) -> Operand2:
+    t = text.strip()
+    if t.startswith("#"):
+        return _parse_imm(t)
+    if "," in t:  # shifted register: "r4, lsl #2"
+        reg_txt, shift_txt = t.split(",", 1)
+        kind, amount = _parse_shift(shift_txt)
+        return ShiftedReg(Reg.parse(reg_txt), kind, amount)
+    return Reg.parse(t)
+
+
+def _parse_address(parts: list[str]) -> Address:
+    """Parse the address operands of a load/store.
+
+    ``parts`` is everything after the destination register, e.g.
+    ``['[r1, #4]']`` or ``['[r1]', '#4']`` (post-index).
+    """
+    first = parts[0]
+    if not first.startswith("["):
+        raise ValueError(f"expected address operand, got {first!r}")
+    pre = first.endswith("!")
+    inner = first.rstrip("!")
+    if not inner.endswith("]"):
+        raise ValueError(f"unterminated address operand: {first!r}")
+    inner = inner[1:-1].strip()
+    inner_parts = _merge_shift_operand(_split_operands(inner))
+    base = Reg.parse(inner_parts[0])
+    if len(parts) == 2:  # post-indexed: [rn], #imm  or  [rn], rm
+        if pre or len(inner_parts) != 1:
+            raise ValueError("post-index form takes a bare [rn] base")
+        return Address(base, _parse_operand2(parts[1]), IndexMode.POST)
+    if len(parts) != 1:
+        raise ValueError(f"too many address operands: {parts!r}")
+    if len(inner_parts) == 1:
+        offset: Operand2 = Imm(0)
+    elif len(inner_parts) == 2:
+        offset = _parse_operand2(inner_parts[1])
+    else:
+        raise ValueError(f"bad address: {parts!r}")
+    mode = IndexMode.PRE if pre else IndexMode.OFFSET
+    if mode is IndexMode.PRE and isinstance(offset, Imm) and offset.value == 0:
+        mode = IndexMode.OFFSET
+    return Address(base, offset, mode)
+
+
+def _parse_lane_ref(text: str) -> tuple[QReg, int]:
+    m = _LANE_RE.match(text.strip().lower())
+    if not m:
+        raise ValueError(f"expected q-register lane reference, got {text!r}")
+    return QReg.parse(m.group(1)), int(m.group(2))
+
+
+def _split_mnemonic(token: str) -> tuple[str, DType | None]:
+    """Split ``vadd.i32`` into mnemonic and dtype suffix."""
+    if "." in token:
+        mnem, suffix = token.split(".", 1)
+        return mnem, DType.from_suffix(suffix)
+    return token, None
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, base: int = DEFAULT_TEXT_BASE):
+        self.base = base
+
+    # ------------------------------------------------------------------
+    def assemble(self, text: str) -> Program:
+        statements = self._scan(text)
+        labels = self._collect_labels(statements)
+        instructions: list[Instruction] = []
+        for line_no, line, stmt in statements:
+            if stmt is None or stmt.startswith("label\x00"):
+                continue
+            try:
+                instr = self._parse_instruction(stmt, labels)
+            except (ValueError, KeyError) as exc:
+                raise AssemblerError(str(exc), line_no, line) from exc
+            assert instr is not None
+            instructions.append(instr)
+        return Program(instructions, labels, base=self.base, source=text)
+
+    # ------------------------------------------------------------------
+    def _scan(self, text: str) -> list[tuple[int, str, str | None]]:
+        """Yield (line_no, original_line, instruction_text|None) triples.
+
+        Labels are rewritten into the statement stream as ``('label', name)``
+        markers via the returned list consumed by :meth:`_collect_labels`.
+        """
+        out: list[tuple[int, str, str | None]] = []
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            while True:
+                m = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+                if not m:
+                    break
+                out.append((line_no, raw, None))
+                out[-1] = (line_no, raw, f"label\x00{m.group(1)}")
+                line = m.group(2).strip()
+            if line:
+                out.append((line_no, raw, line))
+        return out
+
+    def _collect_labels(self, statements: list[tuple[int, str, str | None]]) -> dict[str, int]:
+        labels: dict[str, int] = {}
+        addr = self.base
+        for line_no, line, stmt in statements:
+            if stmt is None:
+                continue
+            if stmt.startswith("label\x00"):
+                name = stmt.split("\x00", 1)[1]
+                if name in labels:
+                    raise AssemblerError(f"duplicate label {name!r}", line_no, line)
+                labels[name] = addr
+            else:
+                addr += INSTRUCTION_BYTES
+        return labels
+
+    # ------------------------------------------------------------------
+    def _parse_instruction(self, stmt: str, labels: dict[str, int]) -> Instruction | None:
+        if stmt.startswith("label\x00"):
+            return None
+        m = re.match(r"^(\S+)\s*(.*)$", stmt)
+        assert m is not None
+        token = m.group(1).lower()
+        rest = m.group(2).strip()
+        mnem, dtype = _split_mnemonic(token)
+        ops = _split_operands(rest) if rest else []
+
+        if mnem.startswith("v"):
+            instr = self._parse_vector(mnem, dtype, ops)
+        else:
+            instr = self._parse_scalar(mnem, ops, labels)
+        if instr is None:
+            raise ValueError(f"unknown mnemonic {token!r}")
+        return instr
+
+    # ------------------------------------------------------------------
+    def _parse_scalar(
+        self, mnem: str, ops: list[str], labels: dict[str, int]
+    ) -> Instruction | None:
+        if mnem == "nop":
+            return Nop()
+        if mnem == "halt":
+            return Halt()
+        if mnem in ("mov", "mvn"):
+            return Mov(Reg.parse(ops[0]), _parse_operand2(", ".join(ops[1:])), negate=mnem == "mvn")
+        if mnem in _CMP_KINDS:
+            merged = _merge_shift_operand(ops)
+            return Cmp(_CMP_KINDS[mnem], Reg.parse(merged[0]), _parse_operand2(", ".join(merged[1:])))
+        sets_flags = False
+        base_mnem = mnem
+        if mnem.endswith("s") and mnem[:-1] in _ALU_KINDS:
+            sets_flags, base_mnem = True, mnem[:-1]
+        if base_mnem in _ALU_KINDS:
+            merged = _merge_shift_operand(ops)
+            if len(merged) < 3:
+                raise ValueError(f"{base_mnem} needs rd, rn, op2")
+            return Alu(
+                _ALU_KINDS[base_mnem],
+                Reg.parse(merged[0]),
+                Reg.parse(merged[1]),
+                _parse_operand2(", ".join(merged[2:])),
+                sets_flags=sets_flags,
+            )
+        if mnem in _MUL_KINDS:
+            kind = _MUL_KINDS[mnem]
+            if kind is MulKind.MLA:
+                return Mul(kind, Reg.parse(ops[0]), Reg.parse(ops[1]), Reg.parse(ops[2]), Reg.parse(ops[3]))
+            return Mul(kind, Reg.parse(ops[0]), Reg.parse(ops[1]), Reg.parse(ops[2]))
+        if mnem in _FLOAT_KINDS:
+            return FloatOp(_FLOAT_KINDS[mnem], Reg.parse(ops[0]), Reg.parse(ops[1]), Reg.parse(ops[2]))
+        if mnem in _MEM_MNEMONICS:
+            store, dt = _MEM_MNEMONICS[mnem]
+            return Mem(store, Reg.parse(ops[0]), _parse_address(ops[1:]), dtype=dt)
+        if mnem == "bx":
+            return BranchReg(Reg.parse(ops[0]))
+        if mnem == "bl":
+            return Branch(self._branch_target(ops[0], labels), link=True)
+        if mnem == "b":
+            return Branch(self._branch_target(ops[0], labels))
+        if mnem.startswith("b") and mnem[1:] in _CONDS:
+            return Branch(self._branch_target(ops[0], labels), cond=_CONDS[mnem[1:]])
+        return None
+
+    @staticmethod
+    def _branch_target(text: str, labels: dict[str, int]) -> int:
+        t = text.strip()
+        if re.match(r"^(0x[0-9a-fA-F]+|\d+)$", t):
+            return _parse_int(t)
+        if t in labels:
+            return labels[t]
+        raise KeyError(f"undefined branch target {t!r}")
+
+    # ------------------------------------------------------------------
+    def _parse_vector(self, mnem: str, dtype: DType | None, ops: list[str]) -> Instruction | None:
+        def need_dtype() -> DType:
+            if dtype is None:
+                raise ValueError(f"{mnem} requires a dtype suffix (e.g. {mnem}.i32)")
+            return dtype
+
+        if mnem in ("vld1", "vst1"):
+            dt = need_dtype()
+            writeback = ops[1].endswith("!")
+            base = Reg.parse(ops[1].rstrip("!")[1:-1])
+            if mnem == "vld1":
+                return VLoad(QReg.parse(ops[0]), base, dt, writeback)
+            return VStore(QReg.parse(ops[0]), base, dt, writeback)
+        if mnem in ("vldlane", "vstlane"):
+            dt = need_dtype()
+            q, lane = _parse_lane_ref(ops[0])
+            writeback = ops[1].endswith("!")
+            base = Reg.parse(ops[1].rstrip("!")[1:-1])
+            if mnem == "vldlane":
+                return VLoadLane(q, lane, base, dt, writeback)
+            return VStoreLane(q, lane, base, dt, writeback)
+        if mnem in _VBIN_KINDS:
+            dt = need_dtype()
+            return VBinOp(_VBIN_KINDS[mnem], QReg.parse(ops[0]), QReg.parse(ops[1]), QReg.parse(ops[2]), dt)
+        if mnem == "vmla":
+            dt = need_dtype()
+            return VMla(QReg.parse(ops[0]), QReg.parse(ops[1]), QReg.parse(ops[2]), dt)
+        if mnem in _VSHIFT_KINDS:
+            dt = need_dtype()
+            return VShiftImm(
+                _VSHIFT_KINDS[mnem], QReg.parse(ops[0]), QReg.parse(ops[1]), _parse_imm(ops[2]).value, dt
+            )
+        if mnem in _VUNARY_KINDS:
+            dt = need_dtype()
+            return VUnary(_VUNARY_KINDS[mnem], QReg.parse(ops[0]), QReg.parse(ops[1]), dt)
+        if mnem == "vdup":
+            dt = need_dtype()
+            return VDup(QReg.parse(ops[0]), Reg.parse(ops[1]), dt)
+        if mnem == "vmovi":
+            dt = need_dtype()
+            return VDupImm(QReg.parse(ops[0]), _parse_imm(ops[1]).value, dt)
+        if mnem in _VCMP_KINDS:
+            dt = need_dtype()
+            return VCmp(_VCMP_KINDS[mnem], QReg.parse(ops[0]), QReg.parse(ops[1]), QReg.parse(ops[2]), dt)
+        if mnem == "vbsl":
+            return VBsl(QReg.parse(ops[0]), QReg.parse(ops[1]), QReg.parse(ops[2]))
+        if mnem == "vmovq":
+            return VMovQ(QReg.parse(ops[0]), QReg.parse(ops[1]))
+        if mnem == "vmov":
+            dt = need_dtype()
+            if _LANE_RE.match(ops[0].strip().lower()):
+                q, lane = _parse_lane_ref(ops[0])
+                return VMovFromCore(q, lane, Reg.parse(ops[1]), dt)
+            q, lane = _parse_lane_ref(ops[1])
+            return VMovToCore(Reg.parse(ops[0]), q, lane, dt)
+        return None
+
+
+def assemble(text: str, base: int = DEFAULT_TEXT_BASE) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    return Assembler(base=base).assemble(text)

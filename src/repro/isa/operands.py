@@ -1,0 +1,174 @@
+"""Operand kinds shared by the scalar and NEON instruction sets.
+
+The flexible second operand of ARM data-processing instructions is modelled
+as either an immediate (:class:`Imm`), a plain register (:class:`Reg`), or a
+register with an immediate shift (:class:`ShiftedReg`).  Memory operands use
+:class:`Address`, which carries the base register, an optional offset, and
+one of the three ARM index modes (offset / pre-indexed / post-indexed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+NUM_SCALAR_REGS = 16
+NUM_Q_REGS = 16
+
+SP = 13
+LR = 14
+PC = 15
+
+_SPECIAL_NAMES = {SP: "sp", LR: "lr", PC: "pc"}
+_NAME_TO_INDEX = {"sp": SP, "lr": LR, "pc": PC}
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A scalar (core) register r0..r15."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_SCALAR_REGS:
+            raise ValueError(f"scalar register index out of range: {self.index}")
+
+    @property
+    def name(self) -> str:
+        return _SPECIAL_NAMES.get(self.index, f"r{self.index}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Reg":
+        t = text.strip().lower()
+        if t in _NAME_TO_INDEX:
+            return cls(_NAME_TO_INDEX[t])
+        if t.startswith("r") and t[1:].isdigit():
+            return cls(int(t[1:]))
+        raise ValueError(f"not a scalar register: {text!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class QReg:
+    """A 128-bit NEON quadword register q0..q15."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_Q_REGS:
+            raise ValueError(f"Q register index out of range: {self.index}")
+
+    @property
+    def name(self) -> str:
+        return f"q{self.index}"
+
+    @classmethod
+    def parse(cls, text: str) -> "QReg":
+        t = text.strip().lower()
+        if t.startswith("q") and t[1:].isdigit():
+            return cls(int(t[1:]))
+        raise ValueError(f"not a Q register: {text!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand, written ``#value`` in assembly."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+class ShiftKind(Enum):
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+
+
+@dataclass(frozen=True)
+class ShiftedReg:
+    """A register shifted by an immediate, e.g. ``r6, lsl #2``."""
+
+    reg: Reg
+    kind: ShiftKind
+    amount: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.amount < 32:
+            raise ValueError(f"shift amount out of range: {self.amount}")
+
+    def __str__(self) -> str:
+        return f"{self.reg}, {self.kind.value} #{self.amount}"
+
+
+#: the flexible second operand of data-processing instructions
+Operand2 = Imm | Reg | ShiftedReg
+
+
+class IndexMode(Enum):
+    """ARM load/store addressing modes."""
+
+    OFFSET = "offset"  # ldr r0, [r1, #4]     (base unchanged)
+    PRE = "pre"        # ldr r0, [r1, #4]!    (base updated before access)
+    POST = "post"      # ldr r0, [r1], #4     (base updated after access)
+
+
+@dataclass(frozen=True)
+class Address:
+    """A load/store memory operand."""
+
+    base: Reg
+    offset: Imm | Reg | ShiftedReg = Imm(0)
+    mode: IndexMode = IndexMode.OFFSET
+
+    @property
+    def writes_back(self) -> bool:
+        return self.mode is not IndexMode.OFFSET
+
+    def __str__(self) -> str:
+        off = str(self.offset)
+        if self.mode is IndexMode.POST:
+            return f"[{self.base}], {off}"
+        if isinstance(self.offset, Imm) and self.offset.value == 0:
+            inner = f"[{self.base}]"
+        else:
+            inner = f"[{self.base}, {off}]"
+        return inner + ("!" if self.mode is IndexMode.PRE else "")
+
+
+class Cond(Enum):
+    """Branch condition codes (subset of ARMv7)."""
+
+    AL = "al"
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    GE = "ge"
+    GT = "gt"
+    LE = "le"
+    LO = "lo"  # unsigned lower (CC)
+    HS = "hs"  # unsigned higher-or-same (CS)
+    MI = "mi"
+    PL = "pl"
+
+    @property
+    def suffix(self) -> str:
+        return "" if self is Cond.AL else self.value
+
+    def inverse(self) -> "Cond":
+        pairs = {
+            Cond.EQ: Cond.NE, Cond.NE: Cond.EQ,
+            Cond.LT: Cond.GE, Cond.GE: Cond.LT,
+            Cond.GT: Cond.LE, Cond.LE: Cond.GT,
+            Cond.LO: Cond.HS, Cond.HS: Cond.LO,
+            Cond.MI: Cond.PL, Cond.PL: Cond.MI,
+        }
+        if self is Cond.AL:
+            raise ValueError("AL has no inverse")
+        return pairs[self]

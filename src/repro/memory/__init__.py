@@ -1,0 +1,16 @@
+"""Memory subsystem: backing store, caches, and the two-level hierarchy."""
+
+from .backing import Allocator, MainMemory, DEFAULT_MEMORY_BYTES
+from .cache import Cache, CacheConfig, CacheStats
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+
+__all__ = [
+    "Allocator",
+    "MainMemory",
+    "DEFAULT_MEMORY_BYTES",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+]

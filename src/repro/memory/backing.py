@@ -1,0 +1,99 @@
+"""Flat little-endian backing store shared by the core and the NEON engine.
+
+The data segment the workloads allocate lives here; the text segment is kept
+separately in :class:`repro.isa.program.Program` (a Harvard-style split that
+matches the trace-level methodology — the DSA observes instruction *records*,
+not instruction bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryError_
+from ..isa.dtypes import DType
+
+DEFAULT_MEMORY_BYTES = 4 * 1024 * 1024
+
+
+class MainMemory:
+    """A flat byte-addressable memory."""
+
+    def __init__(self, size: int = DEFAULT_MEMORY_BYTES):
+        if size <= 0:
+            raise MemoryError_(f"memory size must be positive, got {size}")
+        self.size = size
+        self._data = bytearray(size)
+
+    # ------------------------------------------------------------------
+    # raw byte access
+    # ------------------------------------------------------------------
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MemoryError_(
+                f"access of {nbytes} bytes at 0x{addr:x} outside memory of {self.size} bytes"
+            )
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        self._check(addr, nbytes)
+        return bytes(self._data[addr : addr + nbytes])
+
+    def write(self, addr: int, data: bytes | bytearray) -> None:
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # typed element access
+    # ------------------------------------------------------------------
+    def read_value(self, addr: int, dtype: DType) -> int | float:
+        return dtype.unpack(self.read(addr, dtype.size))
+
+    def write_value(self, addr: int, value: int | float, dtype: DType) -> None:
+        self.write(addr, dtype.pack(value))
+
+    # ------------------------------------------------------------------
+    # bulk numpy access (harness convenience, not an architectural port)
+    # ------------------------------------------------------------------
+    def write_array(self, addr: int, array: np.ndarray) -> None:
+        raw = np.ascontiguousarray(array).tobytes()
+        self.write(addr, raw)
+
+    def read_array(self, addr: int, dtype: DType, count: int) -> np.ndarray:
+        raw = self.read(addr, dtype.size * count)
+        return np.frombuffer(raw, dtype=dtype.numpy).copy()
+
+    def snapshot(self) -> bytes:
+        """A copy of the whole memory image (for functional-equivalence tests)."""
+        return bytes(self._data)
+
+    def clone(self) -> "MainMemory":
+        other = MainMemory(self.size)
+        other._data[:] = self._data
+        return other
+
+
+class Allocator:
+    """Bump allocator carving the data segment into aligned buffers."""
+
+    def __init__(self, memory: MainMemory, start: int = 0x10000, alignment: int = 16):
+        self.memory = memory
+        self._next = start
+        self.alignment = alignment
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` and return the base address."""
+        align = self.alignment
+        base = (self._next + align - 1) // align * align
+        if base + nbytes > self.memory.size:
+            raise MemoryError_(f"allocator out of memory ({nbytes} bytes requested)")
+        self._next = base + nbytes
+        return base
+
+    def alloc_array(self, array: np.ndarray) -> int:
+        """Copy ``array`` into memory and return its base address."""
+        base = self.alloc(array.nbytes)
+        self.memory.write_array(base, array)
+        return base
+
+    def alloc_zeros(self, dtype: DType, count: int) -> int:
+        return self.alloc_array(np.zeros(count, dtype=dtype.numpy))

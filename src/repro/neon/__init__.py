@@ -1,0 +1,6 @@
+"""NEON engine model: lane math + functional execution of vector bursts."""
+
+from .engine import NeonEngine, NeonStats, VMemEvent
+from . import lanes
+
+__all__ = ["NeonEngine", "NeonStats", "VMemEvent", "lanes"]

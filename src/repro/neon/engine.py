@@ -1,0 +1,210 @@
+"""The NEON engine: architectural Q registers + functional execution.
+
+The engine owns the sixteen 128-bit Q registers (paper, Table 4) and knows
+how to execute every vector instruction against a :class:`MainMemory`.
+Timing lives in :class:`repro.cpu.timing.TimingModel`; this class is purely
+functional so the DSA can also run generated bursts against memory
+*snapshots* for equivalence checking without touching timing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..isa.dtypes import NEON_WIDTH_BYTES, bits_to_float, float_to_bits, to_u32
+from ..isa.neon import (
+    VBinOp,
+    VBsl,
+    VCmp,
+    VDup,
+    VDupImm,
+    VInstr,
+    VLoad,
+    VLoadLane,
+    VMla,
+    VMovFromCore,
+    VMovQ,
+    VMovToCore,
+    VShiftImm,
+    VShiftKind,
+    VStore,
+    VStoreLane,
+    VUnary,
+)
+from ..memory.backing import MainMemory
+from . import lanes
+
+
+@dataclass
+class NeonStats:
+    """Operation counters for the energy model."""
+
+    arith_ops: int = 0
+    mem_ops: int = 0
+    lane_ops: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    def reset(self) -> None:
+        self.arith_ops = self.mem_ops = self.lane_ops = 0
+        self.bytes_loaded = self.bytes_stored = 0
+
+
+@dataclass(frozen=True)
+class VMemEvent:
+    """A data-memory access performed by a vector instruction."""
+
+    addr: int
+    nbytes: int
+    is_write: bool
+
+
+class NeonEngine:
+    """Functional model of the 128-bit NEON data engine."""
+
+    def __init__(self) -> None:
+        self.q = [lanes.zero_register() for _ in range(16)]
+        self.stats = NeonStats()
+
+    # ------------------------------------------------------------------
+    def read_q(self, index: int) -> np.ndarray:
+        return self.q[index].copy()
+
+    def write_q(self, index: int, image: np.ndarray) -> None:
+        if image.nbytes != NEON_WIDTH_BYTES:
+            raise ExecutionError("Q register image must be 16 bytes")
+        self.q[index] = image.astype(np.uint8, copy=True)
+
+    def reset(self) -> None:
+        self.q = [lanes.zero_register() for _ in range(16)]
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, instr: VInstr, regs: list[int], memory: MainMemory
+    ) -> list[VMemEvent]:
+        """Execute one vector instruction.
+
+        ``regs`` is the core's scalar register file (mutated on writeback and
+        on vector->core moves).  Returns the memory events performed, for the
+        timing model and the cache hierarchy.
+        """
+        events: list[VMemEvent] = []
+        if isinstance(instr, VLoad):
+            addr = regs[instr.base.index]
+            raw = memory.read(addr, NEON_WIDTH_BYTES)
+            self.q[instr.qd.index] = np.frombuffer(raw, dtype=np.uint8).copy()
+            if instr.writeback:
+                regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
+            events.append(VMemEvent(addr, NEON_WIDTH_BYTES, False))
+            self.stats.mem_ops += 1
+            self.stats.bytes_loaded += NEON_WIDTH_BYTES
+        elif isinstance(instr, VStore):
+            addr = regs[instr.base.index]
+            memory.write(addr, self.q[instr.qs.index].tobytes())
+            if instr.writeback:
+                regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
+            events.append(VMemEvent(addr, NEON_WIDTH_BYTES, True))
+            self.stats.mem_ops += 1
+            self.stats.bytes_stored += NEON_WIDTH_BYTES
+        elif isinstance(instr, VLoadLane):
+            addr = regs[instr.base.index]
+            value = memory.read_value(addr, instr.dtype)
+            self.q[instr.qd.index] = lanes.lane_set(
+                self.q[instr.qd.index], instr.lane, value, instr.dtype
+            )
+            if instr.writeback:
+                regs[instr.base.index] = to_u32(addr + instr.dtype.size)
+            events.append(VMemEvent(addr, instr.dtype.size, False))
+            self.stats.mem_ops += 1
+            self.stats.bytes_loaded += instr.dtype.size
+        elif isinstance(instr, VStoreLane):
+            addr = regs[instr.base.index]
+            value = lanes.lane_get(self.q[instr.qs.index], instr.lane, instr.dtype)
+            memory.write_value(addr, value, instr.dtype)
+            if instr.writeback:
+                regs[instr.base.index] = to_u32(addr + instr.dtype.size)
+            events.append(VMemEvent(addr, instr.dtype.size, True))
+            self.stats.mem_ops += 1
+            self.stats.bytes_stored += instr.dtype.size
+        elif isinstance(instr, VBinOp):
+            self.q[instr.qd.index] = lanes.binop(
+                instr.kind, self.q[instr.qn.index], self.q[instr.qm.index], instr.dtype
+            )
+            self.stats.arith_ops += 1
+        elif isinstance(instr, VMla):
+            self.q[instr.qd.index] = lanes.mla(
+                self.q[instr.qd.index],
+                self.q[instr.qn.index],
+                self.q[instr.qm.index],
+                instr.dtype,
+            )
+            self.stats.arith_ops += 1
+        elif isinstance(instr, VShiftImm):
+            self.q[instr.qd.index] = lanes.shift(
+                instr.kind is VShiftKind.VSHL,
+                self.q[instr.qn.index],
+                instr.amount,
+                instr.dtype,
+            )
+            self.stats.arith_ops += 1
+        elif isinstance(instr, VUnary):
+            self.q[instr.qd.index] = lanes.unary(instr.kind, self.q[instr.qn.index], instr.dtype)
+            self.stats.arith_ops += 1
+        elif isinstance(instr, VDup):
+            raw = regs[instr.rn.index]
+            value = bits_to_float(raw) if instr.dtype.is_float else raw
+            self.q[instr.qd.index] = lanes.broadcast(value, instr.dtype)
+            self.stats.lane_ops += 1
+        elif isinstance(instr, VDupImm):
+            self.q[instr.qd.index] = lanes.broadcast(instr.value, instr.dtype)
+            self.stats.lane_ops += 1
+        elif isinstance(instr, VCmp):
+            self.q[instr.qd.index] = lanes.compare(
+                instr.kind, self.q[instr.qn.index], self.q[instr.qm.index], instr.dtype
+            )
+            self.stats.arith_ops += 1
+        elif isinstance(instr, VBsl):
+            self.q[instr.qd.index] = lanes.bitwise_select(
+                self.q[instr.qd.index], self.q[instr.qn.index], self.q[instr.qm.index]
+            )
+            self.stats.arith_ops += 1
+        elif isinstance(instr, VMovQ):
+            self.q[instr.qd.index] = self.q[instr.qm.index].copy()
+            self.stats.lane_ops += 1
+        elif isinstance(instr, VMovToCore):
+            value = lanes.lane_get(self.q[instr.qn.index], instr.lane, instr.dtype)
+            regs[instr.rd.index] = (
+                float_to_bits(value) if instr.dtype.is_float else to_u32(int(value))
+            )
+            self.stats.lane_ops += 1
+        elif isinstance(instr, VMovFromCore):
+            raw = regs[instr.rn.index]
+            value = bits_to_float(raw) if instr.dtype.is_float else raw
+            self.q[instr.qd.index] = lanes.lane_set(
+                self.q[instr.qd.index], instr.lane, value, instr.dtype
+            )
+            self.stats.lane_ops += 1
+        else:
+            raise ExecutionError(f"unknown vector instruction {instr!r}")
+        return events
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        instrs: list[VInstr],
+        regs: list[int],
+        memory: MainMemory,
+    ) -> list[VMemEvent]:
+        """Execute a burst of vector instructions; returns all memory events.
+
+        Used by the DSA's functional-equivalence verification: the burst runs
+        against a memory snapshot with a private register file.
+        """
+        events: list[VMemEvent] = []
+        for instr in instrs:
+            events.extend(self.execute(instr, regs, memory))
+        return events

@@ -1,0 +1,134 @@
+"""Functional lane math for 128-bit NEON registers.
+
+A register image is 16 bytes (numpy ``uint8`` array); operations reinterpret
+it as lanes of the requested :class:`DType`, with silent wraparound on
+integer overflow — exactly what the hardware does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType, NEON_WIDTH_BYTES
+from ..isa.neon import VBinKind, VCmpKind, VUnaryKind
+
+
+def zero_register() -> np.ndarray:
+    return np.zeros(NEON_WIDTH_BYTES, dtype=np.uint8)
+
+
+def view(image: np.ndarray, dtype: DType) -> np.ndarray:
+    """Reinterpret a 16-byte image as lanes of ``dtype`` (shares storage)."""
+    if image.nbytes != NEON_WIDTH_BYTES:
+        raise ValueError(f"register image must be {NEON_WIDTH_BYTES} bytes")
+    return image.view(dtype.numpy)
+
+
+def from_lanes(values, dtype: DType) -> np.ndarray:
+    """Build a register image from per-lane values (wrapped to the type)."""
+    arr = np.asarray(values)
+    if arr.size != dtype.lanes:
+        raise ValueError(f"{dtype} needs {dtype.lanes} lanes, got {arr.size}")
+    return arr.astype(dtype.numpy).view(np.uint8).copy()
+
+
+def broadcast(value: int | float, dtype: DType) -> np.ndarray:
+    """Register image with ``value`` in every lane (vdup semantics)."""
+    return from_lanes([dtype.wrap(value)] * dtype.lanes, dtype)
+
+
+def binop(kind: VBinKind, a: np.ndarray, b: np.ndarray, dtype: DType) -> np.ndarray:
+    """Lane-wise binary operation; returns a fresh 16-byte image."""
+    va, vb = view(a, dtype), view(b, dtype)
+    with np.errstate(over="ignore", invalid="ignore"):
+        if kind is VBinKind.VADD:
+            out = va + vb
+        elif kind is VBinKind.VSUB:
+            out = va - vb
+        elif kind is VBinKind.VMUL:
+            out = va * vb
+        elif kind is VBinKind.VMIN:
+            out = np.minimum(va, vb)
+        elif kind is VBinKind.VMAX:
+            out = np.maximum(va, vb)
+        elif kind in (VBinKind.VAND, VBinKind.VORR, VBinKind.VEOR):
+            ia = a.view(np.uint8)
+            ib = b.view(np.uint8)
+            if kind is VBinKind.VAND:
+                return (ia & ib).copy()
+            if kind is VBinKind.VORR:
+                return (ia | ib).copy()
+            return (ia ^ ib).copy()
+        else:
+            raise ValueError(f"bad vector binop kind: {kind!r}")
+    return out.astype(dtype.numpy).view(np.uint8).copy()
+
+
+def mla(acc: np.ndarray, a: np.ndarray, b: np.ndarray, dtype: DType) -> np.ndarray:
+    """acc + a*b, lane-wise."""
+    vacc, va, vb = view(acc, dtype), view(a, dtype), view(b, dtype)
+    with np.errstate(over="ignore", invalid="ignore"):
+        out = vacc + va * vb
+    return out.astype(dtype.numpy).view(np.uint8).copy()
+
+
+def unary(kind: VUnaryKind, a: np.ndarray, dtype: DType) -> np.ndarray:
+    va = view(a, dtype)
+    with np.errstate(over="ignore", invalid="ignore"):
+        if kind is VUnaryKind.VABS:
+            out = np.abs(va)
+        elif kind is VUnaryKind.VNEG:
+            out = -va
+        elif kind is VUnaryKind.VMVN:
+            return (~a.view(np.uint8)).copy()
+        else:
+            raise ValueError(f"bad vector unary kind: {kind!r}")
+    return out.astype(dtype.numpy).view(np.uint8).copy()
+
+
+def shift(left: bool, a: np.ndarray, amount: int, dtype: DType) -> np.ndarray:
+    """Lane-wise shift by immediate (arithmetic right for signed types)."""
+    if dtype.is_float:
+        raise ValueError("cannot shift float lanes")
+    va = view(a, dtype)
+    with np.errstate(over="ignore"):
+        out = (va << amount) if left else (va >> amount)
+    return out.astype(dtype.numpy).view(np.uint8).copy()
+
+
+def compare(kind: VCmpKind, a: np.ndarray, b: np.ndarray, dtype: DType) -> np.ndarray:
+    """Lane-wise compare producing an all-ones / all-zeros mask per lane."""
+    va, vb = view(a, dtype), view(b, dtype)
+    if kind is VCmpKind.VCEQ:
+        cond = va == vb
+    elif kind is VCmpKind.VCGT:
+        cond = va > vb
+    elif kind is VCmpKind.VCGE:
+        cond = va >= vb
+    elif kind is VCmpKind.VCLT:
+        cond = va < vb
+    elif kind is VCmpKind.VCLE:
+        cond = va <= vb
+    else:
+        raise ValueError(f"bad vector compare kind: {kind!r}")
+    mask_dtype = np.dtype(f"u{dtype.size}")
+    ones = np.iinfo(mask_dtype).max
+    mask = np.where(cond, ones, 0).astype(mask_dtype)
+    return mask.view(np.uint8).copy()
+
+
+def bitwise_select(mask: np.ndarray, n: np.ndarray, m: np.ndarray) -> np.ndarray:
+    """VBSL: per-bit, take ``n`` where mask is 1 and ``m`` where it is 0."""
+    md = mask.view(np.uint8)
+    return ((md & n.view(np.uint8)) | (~md & m.view(np.uint8))).copy()
+
+
+def lane_get(a: np.ndarray, lane: int, dtype: DType) -> int | float:
+    value = view(a, dtype)[lane]
+    return float(value) if dtype.is_float else int(value)
+
+
+def lane_set(a: np.ndarray, lane: int, value: int | float, dtype: DType) -> np.ndarray:
+    out = a.copy()
+    view(out, dtype)[lane] = dtype.wrap(value)
+    return out

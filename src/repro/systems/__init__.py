@@ -1,0 +1,22 @@
+"""System setups and the execution harness."""
+
+from .runner import KernelRun, execute_kernel
+from .setups import (
+    DSA_STAGES,
+    SYSTEM_NAMES,
+    SystemResult,
+    lower_for,
+    run_all_systems,
+    run_system,
+)
+
+__all__ = [
+    "KernelRun",
+    "execute_kernel",
+    "DSA_STAGES",
+    "SYSTEM_NAMES",
+    "SystemResult",
+    "lower_for",
+    "run_all_systems",
+    "run_system",
+]

@@ -1,0 +1,134 @@
+"""The evaluated systems (paper Methodology, Table 4).
+
+All four share the identical core and memory hierarchy; they differ only in
+how DLP is exploited:
+
+* ``arm_original``  — plain scalar execution, NEON unused;
+* ``neon_autovec``  — binary produced by the auto-vectorizing compiler;
+* ``neon_handvec``  — binary written against the NEON intrinsics library;
+* ``neon_dsa``      — the scalar binary plus the DSA at runtime, in the
+  three feature stages the articles describe (original / extended / full).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler.lowering import LoweredKernel, lower
+from ..compiler.vectorize import AutoVectorizer, HandVectorizer
+from ..cpu.config import CPUConfig, DEFAULT_CPU_CONFIG
+from ..dsa.config import (
+    DSAConfig,
+    EXTENDED_DSA_CONFIG,
+    FULL_DSA_CONFIG,
+    ORIGINAL_DSA_CONFIG,
+)
+from ..dsa.engine import DSAStats, DynamicSIMDAssembler
+from ..energy.model import EnergyModel, EnergyReport
+from ..errors import ConfigError
+from ..workloads.base import Workload
+from .runner import KernelRun, execute_kernel
+
+#: canonical system names, in the order the paper's figures use
+SYSTEM_NAMES = ("arm_original", "neon_autovec", "neon_handvec", "neon_dsa")
+
+#: DSA feature stages (Articles 1-3)
+DSA_STAGES = {
+    "original": ORIGINAL_DSA_CONFIG,
+    "extended": EXTENDED_DSA_CONFIG,
+    "full": FULL_DSA_CONFIG,
+}
+
+
+@dataclass
+class SystemResult:
+    """Everything one (system, workload) run produces."""
+
+    system: str
+    workload: str
+    run: KernelRun
+    energy: EnergyReport
+    dsa_stats: DSAStats | None = None
+    lowered: LoweredKernel | None = None
+
+    @property
+    def cycles(self) -> float:
+        return self.run.result.cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.run.result.seconds
+
+    def improvement_over(self, baseline: "SystemResult") -> float:
+        """Performance improvement as the paper reports it:
+        ``baseline_time / this_time - 1`` (0.31 = 31% faster)."""
+        return baseline.cycles / self.cycles - 1.0
+
+    def energy_savings_over(self, baseline: "SystemResult") -> float:
+        return self.energy.savings_over(baseline.energy)
+
+
+def lower_for(system: str, workload: Workload) -> LoweredKernel:
+    """Produce the binary each system runs."""
+    if system in ("arm_original", "neon_dsa"):
+        return lower(workload.kernel)  # the DSA works on the plain binary
+    if system == "neon_autovec":
+        return lower(workload.kernel, vectorizer=AutoVectorizer())
+    if system == "neon_handvec":
+        return lower(workload.kernel, vectorizer=HandVectorizer())
+    raise ConfigError(f"unknown system {system!r}; pick one of {SYSTEM_NAMES}")
+
+
+def run_system(
+    system: str,
+    workload: Workload,
+    cpu_config: CPUConfig | None = None,
+    dsa_config: DSAConfig | None = None,
+    dsa_stage: str = "full",
+    check_golden: bool = True,
+    max_instructions: int = 100_000_000,
+) -> SystemResult:
+    """Run one workload on one system and (optionally) verify its outputs."""
+    lowered = lower_for(system, workload)
+    dsa = None
+    attach = None
+    if system == "neon_dsa":
+        dsa = DynamicSIMDAssembler(dsa_config or DSA_STAGES[dsa_stage])
+        attach = dsa.attach
+    run = execute_kernel(
+        lowered,
+        workload.fresh_args(),
+        config=cpu_config or DEFAULT_CPU_CONFIG,
+        attach=attach,
+        max_instructions=max_instructions,
+    )
+    if check_golden:
+        expected = workload.expected()
+        for name in workload.output_arrays:
+            got = run.array(name)
+            np.testing.assert_array_equal(
+                got, expected[name], err_msg=f"{system}/{workload.name}/{name}"
+            )
+    energy = EnergyModel().report(run.core, run.result, dsa=dsa)
+    return SystemResult(
+        system=system,
+        workload=workload.name,
+        run=run,
+        energy=energy,
+        dsa_stats=dsa.stats if dsa else None,
+        lowered=lowered,
+    )
+
+
+def run_all_systems(
+    workload: Workload,
+    systems: tuple[str, ...] = SYSTEM_NAMES,
+    dsa_stage: str = "full",
+    **kwargs,
+) -> dict[str, SystemResult]:
+    return {
+        system: run_system(system, workload, dsa_stage=dsa_stage, **kwargs)
+        for system in systems
+    }

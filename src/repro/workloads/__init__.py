@@ -1,0 +1,39 @@
+"""Workloads: MiBench/OpenCV substitutes + loop-type microkernels."""
+
+from . import bitcount, dijkstra, gaussian, matmul, qsort, rgb_gray, susan, synthetic
+from .base import SCALES, Workload
+from .synthetic import LOOP_TYPE_MICROKERNELS
+
+#: the seven paper benchmarks, in the order of Article 3's figures
+PAPER_WORKLOADS = {
+    "matmul": matmul.build,
+    "rgb_gray": rgb_gray.build,
+    "gaussian": gaussian.build,
+    "susan_edges": susan.build,
+    "bitcount": bitcount.build,
+    "dijkstra": dijkstra.build,
+    "qsort": qsort.build,
+}
+
+
+def load(name: str, scale: str = "test") -> Workload:
+    """Build one of the paper's benchmarks at the given scale."""
+    try:
+        builder = PAPER_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(PAPER_WORKLOADS)}") from None
+    return builder(scale)
+
+
+def load_all(scale: str = "test") -> dict[str, Workload]:
+    return {name: build(scale) for name, build in PAPER_WORKLOADS.items()}
+
+
+__all__ = [
+    "SCALES",
+    "Workload",
+    "PAPER_WORKLOADS",
+    "LOOP_TYPE_MICROKERNELS",
+    "load",
+    "load_all",
+]

@@ -1,0 +1,52 @@
+"""Workload abstraction: a kernel + deterministic inputs + numpy golden.
+
+The paper evaluates MiBench and OpenCV benchmarks at three DLP levels
+(Article 1, Section V-A): high (MM, RGB-Gray, Gaussian Filter), medium
+(Susan Edges), low (QSort, Dijkstra); Article 2 adds BitCounts for its
+dynamic-behaviour loops.  Each workload here reproduces the loop-type mix
+of its namesake and ships an independent numpy reference implementation so
+every simulated system can be checked bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..compiler.ir import Kernel
+
+#: named problem sizes: unit tests stay fast, benches look like the paper
+SCALES = ("test", "bench", "full")
+
+
+@dataclass
+class Workload:
+    """One benchmark: kernel, argument factory, and golden reference."""
+
+    name: str
+    dlp_level: str                      # "high" | "medium" | "low"
+    kernel: Kernel
+    make_args: Callable[[], dict]       # fresh arguments for one run
+    golden: Callable[[dict], dict]      # args -> expected output arrays
+    output_arrays: list[str]
+    description: str = ""
+    loop_note: str = ""                 # which paper loop types it exercises
+
+    def fresh_args(self) -> dict:
+        """A new, independent argument set (arrays are copied)."""
+        args = self.make_args()
+        return {
+            k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in args.items()
+        }
+
+    def expected(self) -> dict:
+        """Golden outputs computed with numpy on a fresh argument set."""
+        return self.golden(self.fresh_args())
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {SCALES}")
+    return scale

@@ -1,0 +1,113 @@
+"""Bit Counts — population count over a buffer (MiBench, dynamic loops).
+
+Two stages mirroring why the paper groups BitCounts with the
+dynamic-behaviour benchmarks (Article 2):
+
+1. a **sentinel loop** scans the zero-terminated input and copies it into
+   the working buffer (the length is only known when the sentinel is hit);
+2. a **dynamic-range loop** over the discovered length computes each
+   element's population count with the branch-free SWAR method (shifts,
+   masks, and one multiply — fully elementwise).
+
+Static vectorizers handle neither stage; the full DSA handles both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import (
+    ArrayParam,
+    Binary,
+    BinOp,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Kernel,
+    Let,
+    Load,
+    Store,
+    Var,
+    While,
+    add,
+    mul,
+    shr,
+    sub,
+)
+from .base import Workload, check_scale
+
+_SIZES = {"test": 200, "bench": 2048, "full": 8192}
+
+M1, M2, M4, H01 = 0x55555555, 0x33333333, 0x0F0F0F0F, 0x01010101
+
+
+def _popcount_stmts(i):
+    """SWAR popcount of buf[i], split into steps that fit the expression
+    temporaries (each Let keeps the tree shallow)."""
+    x, c1, c2 = Var("x"), Var("c1"), Var("c2")
+    return [
+        Let("x", Load("buf", i)),
+        Let("c1", sub(x, Binary(BinOp.AND, shr(x, 1), Const(M1)))),
+        Let("c2", add(Binary(BinOp.AND, c1, Const(M2)), Binary(BinOp.AND, shr(c1, 2), Const(M2)))),
+        Let("c2", Binary(BinOp.AND, add(c2, shr(c2, 4)), Const(M4))),
+        Store("counts", i, shr(mul(c2, Const(H01)), 24)),
+    ]
+
+
+def build_kernel() -> Kernel:
+    i, j = Var("i"), Var("j")
+    scan = [
+        Let("len", Const(0)),
+        While(
+            Compare(Load("src", Var("len")), CmpOp.NE, Const(0)),
+            [
+                Store("buf", Var("len"), Load("src", Var("len"))),
+                Let("len", add(Var("len"), Const(1))),
+            ],
+        ),
+    ]
+    count = For("i", Const(0), Var("len"), _popcount_stmts(i))
+    return Kernel(
+        "bitcount",
+        [ArrayParam("src", DType.I32), ArrayParam("buf", DType.I32), ArrayParam("counts", DType.I32)],
+        scan + [count],
+    )
+
+
+def build(scale: str = "test") -> Workload:
+    n = _SIZES[check_scale(scale)]
+    kernel = build_kernel()
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(13)
+        src = rng.integers(1, 1 << 30, n + 8).astype(np.int32)
+        src[n] = 0  # the sentinel
+        src[n + 1 :] = 0
+        return {
+            "src": src,
+            "buf": np.zeros(n + 8, np.int32),
+            "counts": np.zeros(n + 8, np.int32),
+        }
+
+    def golden(args: dict) -> dict:
+        src = args["src"]
+        length = int(np.argmin(src != 0)) if (src == 0).any() else len(src)
+        valid = src[:length].astype(np.uint32)
+        counts = np.zeros(len(src), np.int32)
+        counts[:length] = np.array([bin(int(v)).count("1") for v in valid], dtype=np.int32)
+        buf = np.zeros(len(src), np.int32)
+        buf[:length] = src[:length]
+        return {"counts": counts, "buf": buf}
+
+    return Workload(
+        name="bitcount",
+        dlp_level="medium",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["counts", "buf"],
+        description=f"SWAR popcount over a zero-terminated buffer of {n} words",
+        loop_note="sentinel scan loop + dynamic-range popcount loop",
+    )

@@ -1,0 +1,142 @@
+"""Dijkstra — single-source shortest paths over an adjacency matrix
+(MiBench, low/medium DLP).
+
+The graph size is a *runtime* parameter, as in MiBench: every loop is a
+dynamic-range loop, which is exactly why the paper's NEON auto-vectorizer
+loses 3% here (its runtime versioning guards never pay off — Article 1,
+Fig. 12) while the extended DSA vectorizes the relaxation loop:
+
+    if dist[u] + w[u][v] < dist[v]: dist[v] = dist[u] + w[u][v]
+
+The minimum-distance extraction stays an irreducible sequential scan
+(carried scalars) on every system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import (
+    ArrayParam,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Store,
+    Var,
+    add,
+    mul,
+)
+from .base import Workload, check_scale
+
+_SIZES = {"test": 14, "bench": 40, "full": 96}
+
+INF = 1_000_000
+
+
+def build_kernel() -> Kernel:
+    v_, u = Var("v"), Var("u")
+    n = Var("n")
+    init = For(
+        "v", Const(0), n,
+        [Store("dist", v_, Const(INF)), Store("visited", v_, Const(0))],
+    )
+    find_min = [
+        Let("best", Const(INF + 1)),
+        Let("u", Const(0)),
+        For(
+            "v", Const(0), n,
+            [
+                If(
+                    Compare(Load("visited", v_), CmpOp.EQ, Const(0)),
+                    [
+                        If(
+                            Compare(Load("dist", v_), CmpOp.LT, Var("best")),
+                            [Let("best", Load("dist", v_)), Let("u", v_)],
+                            [],
+                        )
+                    ],
+                    [],
+                )
+            ],
+        ),
+    ]
+    relax = [
+        Store("visited", u, Const(1)),
+        Let("du", Load("dist", u)),
+        Let("row", mul(u, n)),
+        For(
+            "v", Const(0), n,
+            [
+                If(
+                    Compare(add(Var("du"), Load("w", add(Var("row"), v_))), CmpOp.LT, Load("dist", v_)),
+                    [Store("dist", v_, add(Var("du"), Load("w", add(Var("row"), v_))))],
+                    [],
+                )
+            ],
+        ),
+    ]
+    return Kernel(
+        "dijkstra",
+        [
+            ArrayParam("w", DType.I32),
+            ArrayParam("dist", DType.I32),
+            ArrayParam("visited", DType.I32),
+            ScalarParam("n"),
+        ],
+        [
+            init,
+            Store("dist", Const(0), Const(0)),  # source node 0
+            For("it", Const(0), n, find_min + relax),
+        ],
+    )
+
+
+def golden_dijkstra(w: np.ndarray, n: int) -> np.ndarray:
+    dist = np.full(n, INF, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    dist[0] = 0
+    wm = w.reshape(n, n).astype(np.int64)
+    for _ in range(n):
+        candidates = np.where(~visited, dist, INF + 1)
+        u = int(np.argmin(candidates))
+        visited[u] = True
+        relaxed = dist[u] + wm[u]
+        dist = np.minimum(dist, relaxed)
+    return dist.astype(np.int32)
+
+
+def build(scale: str = "test") -> Workload:
+    n = _SIZES[check_scale(scale)]
+    kernel = build_kernel()
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(77)
+        w = rng.integers(1, 100, (n, n)).astype(np.int32)
+        np.fill_diagonal(w, 0)
+        return {
+            "w": w.reshape(-1),
+            "dist": np.zeros(n, np.int32),
+            "visited": np.zeros(n, np.int32),
+            "n": n,
+        }
+
+    def golden(args: dict) -> dict:
+        return {"dist": golden_dijkstra(args["w"], n)}
+
+    return Workload(
+        name="dijkstra",
+        dlp_level="low",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["dist"],
+        description=f"single-source shortest paths, {n}-node dense graph",
+        loop_note="dynamic-range init loop, sequential min-scan, conditional relaxation loop",
+    )

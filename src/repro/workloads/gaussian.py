@@ -1,0 +1,75 @@
+"""Gaussian Filter — separable 3x3 blur (OpenCV-style, high DLP).
+
+Two sequential count loops (horizontal then vertical pass) with a
+[1 2 1] kernel and a final ``>> 4`` normalization.  Stencil streams with
+constant offsets exercise multi-stream vectorization; all intermediates
+fit i16 for 8-bit pixel inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import ArrayParam, Const, For, Kernel, Load, Store, Var, add, shl, shr, sub
+from .base import Workload, check_scale
+
+_SIZES = {"test": (12, 16), "bench": (32, 48), "full": (96, 128)}
+
+
+def build_kernel(h: int, w: int) -> Kernel:
+    n = h * w
+    i = Var("i")
+
+    def tap3(array: str, offset: int):
+        """[1 2 1] weighted sum of array[i-offset], array[i], array[i+offset]."""
+        return add(
+            add(Load(array, sub(i, Const(offset))), shl(Load(array, i), 1)),
+            Load(array, add(i, Const(offset))),
+        )
+
+    horizontal = For("i", Const(1), Const(n - 1), [Store("tmp", i, tap3("img", 1))])
+    vertical = For("i", Const(w), Const(n - w), [Store("out", i, shr(tap3("tmp", w), 4))])
+    return Kernel(
+        f"gaussian_{h}x{w}",
+        [ArrayParam("img", DType.I16), ArrayParam("tmp", DType.I16), ArrayParam("out", DType.I16)],
+        [horizontal, vertical],
+    )
+
+
+def golden_gaussian(img: np.ndarray, h: int, w: int) -> np.ndarray:
+    n = h * w
+    flat = img.astype(np.int32)
+    tmp = np.zeros(n, np.int32)
+    tmp[1 : n - 1] = flat[0 : n - 2] + 2 * flat[1 : n - 1] + flat[2:n]
+    out = np.zeros(n, np.int32)
+    out[w : n - w] = (tmp[0 : n - 2 * w] + 2 * tmp[w : n - w] + tmp[2 * w : n]) >> 4
+    return out.astype(np.int16)
+
+
+def build(scale: str = "test") -> Workload:
+    h, w = _SIZES[check_scale(scale)]
+    n = h * w
+    kernel = build_kernel(h, w)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(33)
+        return {
+            "img": rng.integers(0, 256, n).astype(np.int16),
+            "tmp": np.zeros(n, np.int16),
+            "out": np.zeros(n, np.int16),
+        }
+
+    def golden(args: dict) -> dict:
+        return {"out": golden_gaussian(args["img"], h, w)}
+
+    return Workload(
+        name="gaussian",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"separable 3x3 Gaussian blur on a {h}x{w} image",
+        loop_note="count loops with stencil streams",
+    )

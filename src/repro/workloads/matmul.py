@@ -1,0 +1,72 @@
+"""MM — matrix multiplication (MiBench-style, high DLP).
+
+Written in the ikj order so the innermost loop is elementwise
+(``C[i,j] += A[i,k] * B[k,j]`` over j): a textbook count loop that both the
+static vectorizers and the DSA can handle.  Matrix sizes are baked in as
+constants (the paper's "MM 64x64" is a fixed-size kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import ArrayParam, Const, For, Kernel, Let, Load, Store, Var, add, mul
+from .base import Workload, check_scale
+
+_SIZES = {"test": 16, "bench": 32, "full": 64}
+
+
+def build_kernel(n: int) -> Kernel:
+    i, k, j = Var("i"), Var("k"), Var("j")
+    a_elem = Load("A", add(mul(i, Const(n)), k))
+    body = Store(
+        "C",
+        add(mul(i, Const(n)), j),
+        add(Load("C", add(mul(i, Const(n)), j)), mul(Var("a"), Load("B", add(mul(k, Const(n)), j)))),
+    )
+    return Kernel(
+        f"matmul_{n}",
+        [ArrayParam("A", DType.I32), ArrayParam("B", DType.I32), ArrayParam("C", DType.I32)],
+        [
+            For(
+                "i", Const(0), Const(n),
+                [
+                    For(
+                        "k", Const(0), Const(n),
+                        [Let("a", a_elem), For("j", Const(0), Const(n), [body])],
+                    )
+                ],
+            )
+        ],
+    )
+
+
+def build(scale: str = "test") -> Workload:
+    n = _SIZES[check_scale(scale)]
+    kernel = build_kernel(n)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(2024)
+        return {
+            "A": rng.integers(-30, 30, n * n).astype(np.int32),
+            "B": rng.integers(-30, 30, n * n).astype(np.int32),
+            "C": np.zeros(n * n, np.int32),
+        }
+
+    def golden(args: dict) -> dict:
+        a = args["A"].reshape(n, n).astype(np.int64)
+        b = args["B"].reshape(n, n).astype(np.int64)
+        c = (a @ b).astype(np.int32).reshape(-1)
+        return {"C": c}
+
+    return Workload(
+        name="matmul",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["C"],
+        description=f"{n}x{n} integer matrix multiply (ikj order)",
+        loop_note="count loops (inner), nested outer loops",
+    )

@@ -1,0 +1,126 @@
+"""Q Sort — iterative quicksort (MiBench, low DLP).
+
+Lomuto-partition quicksort driven by an explicit stack.  The partition
+loop is a dynamic-range conditional loop whose store stride depends on the
+data (the classic swap), so no system — static or dynamic — can vectorize
+it; the benchmark pins down the "no DLP available" end of the spectrum and
+exposes the auto-vectorizer's versioning-guard overhead (Article 1,
+Fig. 12 shows a small autovec *slowdown* here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import (
+    ArrayParam,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+    add,
+    sub,
+)
+from .base import Workload, check_scale
+
+_SIZES = {"test": 96, "bench": 384, "full": 1024}
+
+
+def build_kernel() -> Kernel:
+    top, lo, hi, i, j = Var("top"), Var("lo"), Var("hi"), Var("i"), Var("j")
+    partition_body = [
+        If(
+            Compare(Load("data", j), CmpOp.LT, Var("pivot")),
+            [
+                Let("tmp", Load("data", i)),
+                Store("data", i, Load("data", j)),
+                Store("data", j, Var("tmp")),
+                Let("i", add(i, Const(1))),
+            ],
+            [],
+        )
+    ]
+    quicksort = While(
+        Compare(top, CmpOp.GT, Const(0)),
+        [
+            Let("top", sub(top, Const(2))),
+            Let("lo", Load("stack", top)),
+            Let("hi", Load("stack", add(top, Const(1)))),
+            If(
+                Compare(lo, CmpOp.LT, hi),
+                [
+                    Let("pivot", Load("data", hi)),
+                    Let("i", lo),
+                    For("j", lo, hi, partition_body),
+                    Let("tmp", Load("data", i)),
+                    Store("data", i, Load("data", hi)),
+                    Store("data", hi, Var("tmp")),
+                    # push [lo, i-1] and [i+1, hi]
+                    Store("stack", top, lo),
+                    Store("stack", add(top, Const(1)), sub(i, Const(1))),
+                    Let("top", add(top, Const(2))),
+                    Store("stack", top, add(i, Const(1))),
+                    Store("stack", add(top, Const(1)), hi),
+                    Let("top", add(top, Const(2))),
+                ],
+                [],
+            ),
+        ],
+    )
+    # MiBench's qsort driver copies the input buffer before sorting; the
+    # copy is a dynamic-range loop the auto-vectorizer multi-versions with
+    # a runtime guard — the source of its ~1% penalty on this benchmark
+    copy_in = For("j", Const(0), Var("n"), [Store("data", Var("j"), Load("src", Var("j")))])
+    return Kernel(
+        "qsort",
+        [
+            ArrayParam("src", DType.I32),
+            ArrayParam("data", DType.I32),
+            ArrayParam("stack", DType.I32),
+            ScalarParam("n"),
+        ],
+        [
+            copy_in,
+            Store("stack", Const(0), Const(0)),
+            Store("stack", Const(1), sub(Var("n"), Const(1))),
+            Let("top", Const(2)),
+            quicksort,
+        ],
+    )
+
+
+def build(scale: str = "test") -> Workload:
+    n = _SIZES[check_scale(scale)]
+    kernel = build_kernel()
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(55)
+        return {
+            "src": rng.integers(-10_000, 10_000, n).astype(np.int32),
+            "data": np.zeros(n, np.int32),
+            "stack": np.zeros(4 * n, np.int32),
+            "n": n,
+        }
+
+    def golden(args: dict) -> dict:
+        return {"data": np.sort(args["src"]).astype(np.int32)}
+
+    return Workload(
+        name="qsort",
+        dlp_level="low",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["data"],
+        description=f"iterative quicksort of {n} integers",
+        loop_note="sentinel-style work loop + dynamic-range conditional partition (non-vectorizable)",
+    )

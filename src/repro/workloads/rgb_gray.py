@@ -1,0 +1,67 @@
+"""RGB-Gray — color-to-luminance conversion (OpenCV-style, high DLP).
+
+``gray = (77*R + 151*G + 28*B) >> 8`` over u16 channels (the BT.601
+integer weights; every intermediate fits u16 for 8-bit pixel values, so the
+scalar 32-bit and the vector 16-bit computations agree bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import ArrayParam, Const, For, Kernel, Load, Store, Var, add, mul, shr
+from .base import Workload, check_scale
+
+_SIZES = {"test": 256, "bench": 4096, "full": 16384}
+
+WEIGHT_R, WEIGHT_G, WEIGHT_B = 77, 151, 28
+
+
+def build_kernel(n: int) -> Kernel:
+    i = Var("i")
+    weighted = add(
+        add(mul(Load("r", i), Const(WEIGHT_R)), mul(Load("g", i), Const(WEIGHT_G))),
+        mul(Load("b", i), Const(WEIGHT_B)),
+    )
+    return Kernel(
+        f"rgb_gray_{n}",
+        [
+            ArrayParam("r", DType.U16),
+            ArrayParam("g", DType.U16),
+            ArrayParam("b", DType.U16),
+            ArrayParam("gray", DType.U16),
+        ],
+        [For("i", Const(0), Const(n), [Store("gray", i, shr(weighted, 8))])],
+    )
+
+
+def build(scale: str = "test") -> Workload:
+    n = _SIZES[check_scale(scale)]
+    kernel = build_kernel(n)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(7)
+        return {
+            "r": rng.integers(0, 256, n).astype(np.uint16),
+            "g": rng.integers(0, 256, n).astype(np.uint16),
+            "b": rng.integers(0, 256, n).astype(np.uint16),
+            "gray": np.zeros(n, np.uint16),
+        }
+
+    def golden(args: dict) -> dict:
+        r = args["r"].astype(np.uint32)
+        g = args["g"].astype(np.uint32)
+        b = args["b"].astype(np.uint32)
+        return {"gray": ((WEIGHT_R * r + WEIGHT_G * g + WEIGHT_B * b) >> 8).astype(np.uint16)}
+
+    return Workload(
+        name="rgb_gray",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["gray"],
+        description=f"RGB->luminance over {n} pixels (u16 channels)",
+        loop_note="count loop, 8-lane u16",
+    )

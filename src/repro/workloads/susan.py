@@ -1,0 +1,111 @@
+"""Susan E — SUSAN-style edge response (MiBench, medium DLP).
+
+Two stages matching the benchmark's loop mix (Article 3, Fig. 7):
+
+1. a count loop smoothing the image ([1 2 1] horizontal taps);
+2. a conditional loop thresholding the absolute difference between the
+   smoothed and the raw image — the if/else body is the paper's canonical
+   conditional-code loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import (
+    ArrayParam,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    If,
+    Kernel,
+    Let,
+    Load,
+    ScalarParam,
+    Store,
+    UnOp,
+    Unary,
+    Var,
+    add,
+    shl,
+    shr,
+    sub,
+)
+from .base import Workload, check_scale
+
+_SIZES = {"test": 256, "bench": 4096, "full": 16384}
+
+EDGE, FLAT = 255, 0
+
+
+def build_kernel(n: int) -> Kernel:
+    i = Var("i")
+    smooth = For(
+        "i", Const(1), Const(n - 1),
+        [
+            Store(
+                "smoothed", i,
+                shr(add(add(Load("img", sub(i, Const(1))), shl(Load("img", i), 1)), Load("img", add(i, Const(1)))), 2),
+            )
+        ],
+    )
+    detect = For(
+        "i", Const(0), Const(n),
+        [
+            Let("d", Unary(UnOp.ABS, sub(Load("img", i), Load("smoothed", i)))),
+            If(
+                Compare(Var("d"), CmpOp.GT, Var("t")),
+                [Store("edges", i, Const(EDGE))],
+                [Store("edges", i, Const(FLAT))],
+            ),
+        ],
+    )
+    return Kernel(
+        f"susan_{n}",
+        [
+            ArrayParam("img", DType.I16),
+            ArrayParam("smoothed", DType.I16),
+            ArrayParam("edges", DType.I16),
+            ScalarParam("t"),
+        ],
+        [smooth, detect],
+    )
+
+
+def build(scale: str = "test") -> Workload:
+    n = _SIZES[check_scale(scale)]
+    kernel = build_kernel(n)
+    threshold = 6
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(101)
+        base = rng.integers(0, 256, n).astype(np.int16)
+        # inject edges so both branches of the conditional loop run early
+        base[:: max(1, n // 64)] = rng.integers(0, 256, len(base[:: max(1, n // 64)]))
+        return {
+            "img": base,
+            "smoothed": np.zeros(n, np.int16),
+            "edges": np.zeros(n, np.int16),
+            "t": threshold,
+        }
+
+    def golden(args: dict) -> dict:
+        img = args["img"].astype(np.int32)
+        smoothed = np.zeros(n, np.int32)
+        smoothed[1 : n - 1] = (img[0 : n - 2] + 2 * img[1 : n - 1] + img[2:n]) >> 2
+        d = np.abs(img - smoothed)
+        edges = np.where(d > threshold, EDGE, FLAT).astype(np.int16)
+        return {"smoothed": smoothed.astype(np.int16), "edges": edges}
+
+    return Workload(
+        name="susan_edges",
+        dlp_level="medium",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["smoothed", "edges"],
+        description=f"SUSAN-style edge thresholding over {n} pixels",
+        loop_note="count loop + conditional (if/else) loop",
+    )

@@ -1,0 +1,360 @@
+"""Synthetic microkernels: one per loop type of the paper's taxonomy.
+
+Used by the examples, the energy-per-scenario experiment (Article 3,
+Table 3 charges a different state-machine path per loop type) and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import (
+    ArrayParam,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Return,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+    add,
+    mul,
+    sub,
+)
+from .base import Workload
+
+
+def vecsum(n: int = 256) -> Workload:
+    """Count loop: out[i] = a[i] + b[i]."""
+    kernel = Kernel(
+        "vecsum",
+        [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+        [For("i", Const(0), Const(n), [Store("out", Var("i"), add(Load("a", Var("i")), Load("b", Var("i"))))])],
+    )
+
+    def make_args():
+        rng = np.random.default_rng(0)
+        return {
+            "a": rng.integers(-1000, 1000, n).astype(np.int32),
+            "b": rng.integers(-1000, 1000, n).astype(np.int32),
+            "out": np.zeros(n, np.int32),
+        }
+
+    return Workload(
+        name="vecsum",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=lambda args: {"out": (args["a"] + args["b"]).astype(np.int32)},
+        output_arrays=["out"],
+        description=f"element-wise sum of {n} i32",
+        loop_note="count loop",
+    )
+
+
+def saxpy(n: int = 256) -> Workload:
+    """Count loop over float32 lanes: y[i] = a*x[i] + y[i]."""
+    kernel = Kernel(
+        "saxpy",
+        [ArrayParam("x", DType.F32), ArrayParam("y", DType.F32), ArrayParam("af", DType.F32)],
+        [
+            Let("a", Load("af", Const(0))),
+            For(
+                "i", Const(0), Const(n),
+                [Store("y", Var("i"), add(mul(Var("a"), Load("x", Var("i"))), Load("y", Var("i"))))],
+            ),
+        ],
+    )
+
+    def make_args():
+        rng = np.random.default_rng(1)
+        return {
+            "x": rng.random(n).astype(np.float32),
+            "y": rng.random(n).astype(np.float32),
+            "af": np.array([1.5], np.float32),
+        }
+
+    def golden(args):
+        a = np.float32(args["af"][0])
+        return {"y": (a * args["x"] + args["y"]).astype(np.float32)}
+
+    return Workload(
+        name="saxpy",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["y"],
+        description=f"saxpy over {n} float32",
+        loop_note="count loop, f32 lanes",
+    )
+
+
+def threshold(n: int = 256) -> Workload:
+    """Conditional loop: out[i] = a[i] > t ? a[i] : -a[i]."""
+    kernel = Kernel(
+        "threshold",
+        [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ScalarParam("t")],
+        [
+            For(
+                "i", Const(0), Const(n),
+                [
+                    If(
+                        Compare(Load("a", Var("i")), CmpOp.GT, Var("t")),
+                        [Store("out", Var("i"), Load("a", Var("i")))],
+                        [Store("out", Var("i"), sub(Const(0), Load("a", Var("i"))))],
+                    )
+                ],
+            )
+        ],
+    )
+
+    def make_args():
+        rng = np.random.default_rng(2)
+        return {"a": rng.integers(-100, 100, n).astype(np.int32), "out": np.zeros(n, np.int32), "t": 0}
+
+    def golden(args):
+        a = args["a"]
+        return {"out": np.where(a > args["t"], a, -a).astype(np.int32)}
+
+    return Workload(
+        name="threshold",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"conditional absolute value over {n} i32",
+        loop_note="conditional loop (if/else)",
+    )
+
+
+def strcopy(n: int = 200, valid: int | None = None) -> Workload:
+    """Sentinel loop: copy until the zero terminator."""
+    valid = valid if valid is not None else (3 * n) // 4
+    kernel = Kernel(
+        "strcopy",
+        [ArrayParam("src", DType.I32), ArrayParam("dst", DType.I32)],
+        [
+            Let("i", Const(0)),
+            While(
+                Compare(Load("src", Var("i")), CmpOp.NE, Const(0)),
+                [Store("dst", Var("i"), Load("src", Var("i"))), Let("i", add(Var("i"), Const(1)))],
+            ),
+        ],
+    )
+
+    def make_args():
+        src = np.arange(1, n + 1, dtype=np.int32)
+        src[valid] = 0
+        return {"src": src, "dst": np.zeros(n, np.int32)}
+
+    def golden(args):
+        src = args["src"]
+        length = int(np.argmin(src != 0))
+        dst = np.zeros(n, np.int32)
+        dst[:length] = src[:length]
+        return {"dst": dst}
+
+    return Workload(
+        name="strcopy",
+        dlp_level="medium",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["dst"],
+        description=f"sentinel-terminated copy, {valid} live of {n}",
+        loop_note="sentinel loop",
+    )
+
+
+def repeated_strcopy(n: int = 256, valid: int | None = None, repeats: int = 6) -> Workload:
+    """Sentinel loop executed repeatedly: the learned speculative range
+    (paper Fig. 23) covers nearly the whole loop from the second run on."""
+    valid = valid if valid is not None else (3 * n) // 4
+    body = [
+        Let("i", Const(0)),
+        While(
+            Compare(Load("src", Var("i")), CmpOp.NE, Const(0)),
+            [
+                Store("dst", Var("i"), add(Load("src", Var("i")), Var("r"))),
+                Let("i", add(Var("i"), Const(1))),
+            ],
+        ),
+    ]
+    kernel = Kernel(
+        "repeated_strcopy",
+        [ArrayParam("src", DType.I32), ArrayParam("dst", DType.I32)],
+        [For("r", Const(0), Const(repeats), body)],
+    )
+
+    def make_args():
+        src = np.arange(1, n + 1, dtype=np.int32)
+        src[valid] = 0
+        return {"src": src, "dst": np.zeros(n, np.int32)}
+
+    def golden(args):
+        src = args["src"]
+        length = int(np.argmin(src != 0))
+        dst = np.zeros(n, np.int32)
+        dst[:length] = src[:length] + (repeats - 1)
+        return {"dst": dst}
+
+    return Workload(
+        name="repeated_strcopy",
+        dlp_level="medium",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["dst"],
+        description=f"{repeats} sentinel-terminated passes over {valid} live of {n}",
+        loop_note="sentinel loop, repeated (speculative-range learning)",
+    )
+
+
+def scaled_fill(n: int = 256) -> Workload:
+    """Dynamic range loop (type A): bound arrives in a register."""
+    kernel = Kernel(
+        "scaled_fill",
+        [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ScalarParam("n")],
+        [For("i", Const(0), Var("n"), [Store("out", Var("i"), mul(Load("a", Var("i")), Const(5)))])],
+    )
+
+    def make_args():
+        return {"a": np.arange(n, dtype=np.int32), "out": np.zeros(n, np.int32), "n": n}
+
+    def golden(args):
+        out = np.zeros(n, np.int32)
+        out[: args["n"]] = args["a"][: args["n"]] * 5
+        return {"out": out}
+
+    return Workload(
+        name="scaled_fill",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"runtime-sized scale of {n} i32",
+        loop_note="dynamic range loop (type A)",
+    )
+
+
+def offset_accumulate(n: int = 128, distance: int = 24) -> Workload:
+    """Partial-vectorization loop: out[i+d] = out[i] + a[i]."""
+    kernel = Kernel(
+        "offset_accumulate",
+        [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+        [
+            For(
+                "i", Const(0), Const(n),
+                [Store("out", add(Var("i"), Const(distance)), add(Load("out", Var("i")), Load("a", Var("i"))))],
+            )
+        ],
+    )
+
+    def make_args():
+        return {"a": np.arange(n, dtype=np.int32), "out": np.arange(n + distance, dtype=np.int32) * 3}
+
+    def golden(args):
+        out = args["out"].astype(np.int64).copy()
+        a = args["a"]
+        for i in range(n):
+            out[i + distance] = out[i] + a[i]
+        return {"out": out.astype(np.int32)}
+
+    return Workload(
+        name="offset_accumulate",
+        dlp_level="medium",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"cross-iteration accumulate at distance {distance}",
+        loop_note="partial vectorization (CID at a distance)",
+    )
+
+
+def clamp_map(n: int = 128) -> Workload:
+    """Function loop: out[i] = f(a[i]) with a straight-line helper."""
+    f = Function("affine", ["x"], [Return(add(mul(Var("x"), Const(3)), Const(11)))])
+    kernel = Kernel(
+        "clamp_map",
+        [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+        [For("i", Const(0), Const(n), [Store("out", Var("i"), Call("affine", (Load("a", Var("i")),)))])],
+        functions=[f],
+    )
+
+    def make_args():
+        return {"a": np.arange(n, dtype=np.int32) - n // 2, "out": np.zeros(n, np.int32)}
+
+    def golden(args):
+        return {"out": (args["a"] * 3 + 11).astype(np.int32)}
+
+    return Workload(
+        name="clamp_map",
+        dlp_level="high",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"function-call map over {n} i32",
+        loop_note="function loop",
+    )
+
+
+def dotprod(n: int = 128) -> Workload:
+    """Reduction: intrinsically non-vectorizable on every system here."""
+    kernel = Kernel(
+        "dotprod",
+        [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+        [
+            Let("s", Const(0)),
+            For("i", Const(0), Const(n), [Let("s", add(Var("s"), mul(Load("a", Var("i")), Load("b", Var("i")))))]),
+            Store("out", Const(0), Var("s")),
+        ],
+    )
+
+    def make_args():
+        rng = np.random.default_rng(3)
+        return {
+            "a": rng.integers(-100, 100, n).astype(np.int32),
+            "b": rng.integers(-100, 100, n).astype(np.int32),
+            "out": np.zeros(1, np.int32),
+        }
+
+    def golden(args):
+        return {"out": np.array([int(np.dot(args["a"].astype(np.int64), args["b"].astype(np.int64))) & 0xFFFFFFFF], np.uint32).astype(np.int32)}
+
+    return Workload(
+        name="dotprod",
+        dlp_level="low",
+        kernel=kernel,
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"dot product of {n} i32 (carry-around scalar)",
+        loop_note="reduction (non-vectorizable)",
+    )
+
+
+#: one representative per loop type, for the Table 3 energy scenarios
+LOOP_TYPE_MICROKERNELS = {
+    "count": vecsum,
+    "conditional": threshold,
+    "sentinel": strcopy,
+    "dynamic_range": scaled_fill,
+    "partial": offset_accumulate,
+    "function": clamp_map,
+    "non_vectorizable": dotprod,
+}

@@ -1,0 +1,181 @@
+"""Static loop analysis tests: affine decomposition, deps, classification."""
+
+import pytest
+
+from repro.isa import DType
+from repro.compiler import (
+    ArrayParam,
+    Binary,
+    BinOp,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    If,
+    Kernel,
+    Let,
+    Load,
+    LoopClass,
+    Return,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+    analyze_loop,
+    carried_scalars,
+    classify_loop,
+    loop_census,
+    split_affine,
+)
+from repro.compiler.ir import add, c, mul, sub, v
+
+
+def kernel_with(body, functions=(), extra_arrays=()):
+    params = [
+        ArrayParam("a", DType.I32),
+        ArrayParam("b", DType.I32),
+        ArrayParam("out", DType.I32),
+        ScalarParam("n"),
+    ]
+    params += [ArrayParam(name, dt) for name, dt in extra_arrays]
+    return Kernel("k", params, body, functions=list(functions))
+
+
+class TestSplitAffine:
+    def test_plain_var(self):
+        aff = split_affine(v("i"), "i")
+        assert aff.coeff == 1 and aff.const == 0 and aff.base_terms == ()
+
+    def test_var_plus_const(self):
+        aff = split_affine(add(v("i"), c(3)), "i")
+        assert aff.coeff == 1 and aff.const == 3
+
+    def test_var_minus_const(self):
+        aff = split_affine(sub(v("i"), c(2)), "i")
+        assert aff.const == -2
+
+    def test_invariant_base(self):
+        expr = add(mul(v("row"), v("w")), v("i"))
+        aff = split_affine(expr, "i")
+        assert aff.coeff == 1
+        assert len(aff.base_terms) == 1
+
+    def test_nonlinear_rejected(self):
+        assert split_affine(mul(v("i"), c(2)), "i") is None
+        assert split_affine(mul(v("i"), v("i")), "i") is None
+
+    def test_indirect_rejected(self):
+        assert split_affine(Load("a", v("i")), "i") is None
+
+    def test_no_var_gives_zero_coeff(self):
+        aff = split_affine(add(v("x"), c(1)), "i")
+        assert aff.coeff == 0
+
+    def test_same_base_same_key(self):
+        e1 = add(mul(v("r"), v("w")), v("i"))
+        e2 = add(mul(v("r"), v("w")), add(v("i"), c(1)))
+        a1, a2 = split_affine(e1, "i"), split_affine(e2, "i")
+        assert a1.base_key == a2.base_key
+        assert a1.const != a2.const
+
+
+class TestCarriedScalars:
+    def test_reduction_detected(self):
+        loop = For("i", c(0), c(8), [Let("acc", add(v("acc"), Load("a", v("i"))))])
+        assert "acc" in carried_scalars(loop)
+
+    def test_write_before_read_not_carried(self):
+        loop = For(
+            "i",
+            c(0),
+            c(8),
+            [Let("t", Load("a", v("i"))), Store("out", v("i"), add(v("t"), c(1)))],
+        )
+        assert carried_scalars(loop) == set()
+
+    def test_loop_var_not_carried(self):
+        loop = For("i", c(0), c(8), [Store("out", v("i"), v("i"))])
+        assert carried_scalars(loop) == set()
+
+    def test_invariant_param_not_carried(self):
+        loop = For("i", c(0), c(8), [Store("out", v("i"), v("n"))])
+        assert carried_scalars(loop) == set()
+
+
+class TestDependencyAnalysis:
+    def test_clean_elementwise(self):
+        loop = For("i", c(0), c(64), [Store("out", v("i"), Load("a", v("i")))])
+        feats = analyze_loop(loop, kernel_with([loop]))
+        assert not feats.possible_cross_iteration_dep
+        assert feats.static_bounds and feats.trip_count == 64
+
+    def test_same_index_rmw_is_clean(self):
+        loop = For("i", c(0), c(64), [Store("out", v("i"), add(Load("out", v("i")), c(1)))])
+        feats = analyze_loop(loop, kernel_with([loop]))
+        assert not feats.possible_cross_iteration_dep
+
+    def test_offset_read_write_is_dependency(self):
+        # out[i] = out[i-1] + a[i]  — the paper's Fig. 8(b)
+        loop = For(
+            "i", c(1), c(64),
+            [Store("out", v("i"), add(Load("out", sub(v("i"), c(1))), Load("a", v("i"))))],
+        )
+        feats = analyze_loop(loop, kernel_with([loop]))
+        assert feats.possible_cross_iteration_dep
+
+    def test_scalar_index_store_is_dependency(self):
+        loop = For("i", c(0), c(8), [Store("out", c(0), Load("out", c(0)))])
+        feats = analyze_loop(loop, kernel_with([loop]))
+        assert feats.possible_cross_iteration_dep
+
+    def test_mixed_widths_flagged(self):
+        loop = For("i", c(0), c(8), [Store("w", v("i"), Load("a", v("i")))])
+        k = kernel_with([loop], extra_arrays=[("w", DType.I16)])
+        feats = analyze_loop(loop, k)
+        assert feats.mixed_element_width
+
+    def test_dynamic_bound_flagged(self):
+        loop = For("i", c(0), v("n"), [Store("out", v("i"), c(0))])
+        feats = analyze_loop(loop, kernel_with([loop]))
+        assert not feats.static_bounds and feats.trip_count is None
+
+
+class TestClassification:
+    def test_count_loop(self):
+        loop = For("i", c(0), c(8), [Store("out", v("i"), Load("a", v("i")))])
+        assert classify_loop(loop, kernel_with([loop])) is LoopClass.COUNT
+
+    def test_dynamic_range_loop(self):
+        loop = For("i", c(0), v("n"), [Store("out", v("i"), Load("a", v("i")))])
+        assert classify_loop(loop, kernel_with([loop])) is LoopClass.DYNAMIC_RANGE
+
+    def test_conditional_loop(self):
+        loop = For(
+            "i", c(0), c(8),
+            [If(Compare(Load("a", v("i")), CmpOp.GT, c(0)), [Store("out", v("i"), c(1))], [])],
+        )
+        assert classify_loop(loop, kernel_with([loop])) is LoopClass.CONDITIONAL
+
+    def test_sentinel_loop(self):
+        loop = While(Compare(v("x"), CmpOp.NE, c(0)), [Let("x", sub(v("x"), c(1)))])
+        assert classify_loop(loop, kernel_with([loop])) is LoopClass.SENTINEL
+
+    def test_function_loop(self):
+        f = Function("g", ["x"], [Return(add(v("x"), c(1)))])
+        loop = For("i", c(0), c(8), [Store("out", v("i"), Call("g", (Load("a", v("i")),)))])
+        k = kernel_with([loop], functions=[f])
+        assert classify_loop(loop, k) is LoopClass.FUNCTION
+
+    def test_non_vectorizable_reduction(self):
+        loop = For("i", c(0), c(8), [Let("s", add(v("s"), Load("a", v("i"))))])
+        assert classify_loop(loop, kernel_with([Let("s", c(0)), loop])) is LoopClass.NON_VECTORIZABLE
+
+    def test_census_counts_all_loops(self):
+        inner = For("j", c(0), c(4), [Store("out", v("j"), c(0))])
+        outer = For("i", c(0), v("n"), [inner])
+        k = kernel_with([outer])
+        census = loop_census(k)
+        assert census[LoopClass.DYNAMIC_RANGE] == 1
+        assert census[LoopClass.COUNT] == 1

@@ -1,0 +1,115 @@
+"""IR construction and validation tests."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.isa import DType
+from repro.compiler import (
+    ArrayParam,
+    Binary,
+    BinOp,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Return,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+)
+from repro.compiler.ir import add, c, mul, shr, sub, v, walk_exprs, walk_stmts
+
+
+def simple_kernel(body, functions=()):
+    return Kernel(
+        "k",
+        [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ScalarParam("n")],
+        body,
+        functions=list(functions),
+    )
+
+
+class TestValidation:
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(CompilerError):
+            Kernel("k", [ScalarParam("x"), ScalarParam("x")], [])
+
+    def test_unknown_array_load_rejected(self):
+        with pytest.raises(CompilerError):
+            simple_kernel([Let("t", Load("nope", c(0)))])
+
+    def test_unknown_array_store_rejected(self):
+        with pytest.raises(CompilerError):
+            simple_kernel([Store("nope", c(0), c(1))])
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompilerError):
+            simple_kernel([Let("t", Call("f", (c(1),)))])
+
+    def test_return_outside_function_rejected(self):
+        with pytest.raises(CompilerError):
+            simple_kernel([Return(c(0))])
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(CompilerError):
+            For("i", c(0), c(10), [], step=0)
+
+    def test_function_with_loop_rejected(self):
+        with pytest.raises(CompilerError):
+            Function("f", ["x"], [For("i", c(0), c(3), [])])
+
+    def test_function_with_load_rejected(self):
+        with pytest.raises(CompilerError):
+            Function("f", ["x"], [Return(Load("a", c(0)))])
+
+    def test_function_too_many_params(self):
+        with pytest.raises(CompilerError):
+            Function("f", ["a", "b", "c"], [Return(c(0))])
+
+    def test_valid_function_kernel(self):
+        f = Function("double", ["x"], [Return(add(v("x"), v("x")))])
+        k = simple_kernel(
+            [For("i", c(0), c(4), [Store("out", v("i"), Call("double", (Load("a", v("i")),)))])],
+            functions=[f],
+        )
+        assert k.function("double") is f
+
+
+class TestWalkers:
+    def test_walk_stmts_depth_first(self):
+        inner = Store("out", v("i"), c(1))
+        loop = For("i", c(0), c(4), [If(Compare(v("i"), CmpOp.LT, c(2)), [inner], [])])
+        k = simple_kernel([loop])
+        stmts = list(walk_stmts(k.body))
+        assert loop in stmts and inner in stmts
+
+    def test_walk_exprs_finds_nested_loads(self):
+        k = simple_kernel(
+            [Store("out", v("i"), mul(add(Load("a", v("i")), c(1)), c(2)))]
+        )
+        loads = [e for e in walk_exprs(k.body) if isinstance(e, Load)]
+        assert len(loads) == 1
+
+    def test_while_body_walked(self):
+        k = simple_kernel([While(Compare(v("n"), CmpOp.GT, c(0)), [Let("n", sub(v("n"), c(1)))])])
+        lets = [s for s in walk_stmts(k.body) if isinstance(s, Let)]
+        assert len(lets) == 1
+
+
+class TestHelpers:
+    def test_shorthand_builders(self):
+        e = shr(add(v("x"), c(1)), 2)
+        assert isinstance(e, Binary) and e.op is BinOp.SHR
+        assert str(e) == "((x + 1) >> 2)"
+
+    def test_str_representations(self):
+        assert str(Store("o", v("i"), c(3))) == "o[i] = 3"
+        assert str(Compare(v("i"), CmpOp.NE, c(0))) == "i != 0"
+        assert str(For("i", c(0), v("n"), [])) == "for i in 0..n step 1"

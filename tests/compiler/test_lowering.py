@@ -1,0 +1,281 @@
+"""Lowering correctness: every IR construct executes right on the core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilerError
+from repro.isa import DType
+from repro.compiler import (
+    ArrayParam,
+    Binary,
+    BinOp,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Return,
+    ScalarParam,
+    Store,
+    UnOp,
+    Unary,
+    Var,
+    While,
+    lower,
+)
+from repro.compiler.ir import add, c, mul, shl, shr, sub, v
+from repro.systems.runner import execute_kernel
+
+
+def run(kernel, **args):
+    return execute_kernel(lower(kernel), args)
+
+
+class TestStraightLine:
+    def test_store_constant(self):
+        k = Kernel("k", [ArrayParam("out", DType.I32)], [Store("out", c(2), c(99))])
+        r = run(k, out=np.zeros(4, np.int32))
+        assert r.array("out").tolist() == [0, 0, 99, 0]
+
+    def test_let_and_arith(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("x")],
+            [
+                Let("t", add(mul(v("x"), c(3)), c(1))),
+                Store("out", c(0), v("t")),
+                Store("out", c(1), shr(v("t"), 1)),
+                Store("out", c(2), shl(v("t"), 2)),
+                Store("out", c(3), Binary(BinOp.AND, v("t"), c(0xF))),
+            ],
+        )
+        r = run(k, out=np.zeros(4, np.int32), x=7)
+        assert r.array("out").tolist() == [22, 11, 88, 22 & 0xF]
+
+    def test_unary_ops(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("x")],
+            [
+                Store("out", c(0), Unary(UnOp.NEG, v("x"))),
+                Store("out", c(1), Unary(UnOp.ABS, v("x"))),
+                Store("out", c(2), Unary(UnOp.NOT, c(0))),
+            ],
+        )
+        r = run(k, out=np.zeros(3, np.int32), x=-5)
+        assert r.array("out").tolist() == [5, 5, -1]
+
+    def test_min_max(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("x"), ScalarParam("y")],
+            [
+                Store("out", c(0), Binary(BinOp.MIN, v("x"), v("y"))),
+                Store("out", c(1), Binary(BinOp.MAX, v("x"), v("y"))),
+            ],
+        )
+        r = run(k, out=np.zeros(2, np.int32), x=-3, y=10)
+        assert r.array("out").tolist() == [-3, 10]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        def make(x):
+            k = Kernel(
+                "k",
+                [ArrayParam("out", DType.I32), ScalarParam("x")],
+                [
+                    If(
+                        Compare(v("x"), CmpOp.GT, c(5)),
+                        [Store("out", c(0), c(1))],
+                        [Store("out", c(0), c(2))],
+                    )
+                ],
+            )
+            return run(k, out=np.zeros(1, np.int32), x=x).array("out")[0]
+
+        assert make(10) == 1
+        assert make(3) == 2
+
+    def test_if_without_else(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("x")],
+            [If(Compare(v("x"), CmpOp.EQ, c(0)), [Store("out", c(0), c(7))], [])],
+        )
+        assert run(k, out=np.zeros(1, np.int32), x=0).array("out")[0] == 7
+        assert run(k, out=np.zeros(1, np.int32), x=1).array("out")[0] == 0
+
+    def test_while_countdown(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("n")],
+            [
+                Let("i", v("n")),
+                Let("s", c(0)),
+                While(
+                    Compare(v("i"), CmpOp.GT, c(0)),
+                    [Let("s", add(v("s"), v("i"))), Let("i", sub(v("i"), c(1)))],
+                ),
+                Store("out", c(0), v("s")),
+            ],
+        )
+        assert run(k, out=np.zeros(1, np.int32), n=10).array("out")[0] == 55
+
+    def test_for_with_dynamic_bound(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("n")],
+            [For("i", c(0), v("n"), [Store("out", v("i"), mul(v("i"), v("i")))])],
+        )
+        r = run(k, out=np.zeros(8, np.int32), n=5)
+        assert r.array("out").tolist() == [0, 1, 4, 9, 16, 0, 0, 0]
+
+    def test_zero_trip_loop(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("n")],
+            [For("i", c(0), v("n"), [Store("out", v("i"), c(1))])],
+        )
+        r = run(k, out=np.zeros(4, np.int32), n=0)
+        assert r.array("out").tolist() == [0, 0, 0, 0]
+
+    def test_negative_step(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32)],
+            [For("i", c(3), c(-1), [Store("out", v("i"), v("i"))], step=-1)],
+        )
+        r = run(k, out=np.zeros(4, np.int32))
+        assert r.array("out").tolist() == [0, 1, 2, 3]
+
+    def test_nested_loops_matrix_fill(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("out", DType.I32), ScalarParam("w")],
+            [
+                For(
+                    "y",
+                    c(0),
+                    c(3),
+                    [
+                        For(
+                            "x",
+                            c(0),
+                            c(4),
+                            [Store("out", add(mul(v("y"), v("w")), v("x")), add(v("y"), v("x")))],
+                        )
+                    ],
+                )
+            ],
+        )
+        r = run(k, out=np.zeros(12, np.int32), w=4)
+        expected = [[y + x for x in range(4)] for y in range(3)]
+        assert r.array("out").tolist() == [e for row in expected for e in row]
+
+
+class TestDataTypes:
+    @pytest.mark.parametrize(
+        "dtype,values",
+        [
+            (DType.U8, [250, 251, 252, 253]),
+            (DType.I8, [-4, -3, 2, 3]),
+            (DType.U16, [65000, 1, 2, 3]),
+            (DType.I16, [-300, 300, -1, 1]),
+        ],
+    )
+    def test_narrow_copy(self, dtype, values):
+        k = Kernel(
+            "k",
+            [ArrayParam("a", dtype), ArrayParam("out", dtype)],
+            [For("i", c(0), c(4), [Store("out", v("i"), Load("a", v("i")))])],
+        )
+        arr = np.array(values, dtype=dtype.numpy)
+        r = run(k, a=arr, out=np.zeros(4, dtype.numpy))
+        assert r.array("out").tolist() == arr.tolist()
+
+    def test_float_arithmetic(self):
+        k = Kernel(
+            "k",
+            [ArrayParam("a", DType.F32), ArrayParam("b", DType.F32), ArrayParam("out", DType.F32)],
+            [
+                For(
+                    "i", c(0), c(4),
+                    [Store("out", v("i"), add(mul(Load("a", v("i")), Load("b", v("i"))), Load("a", v("i"))))],
+                )
+            ],
+        )
+        a = np.array([1.0, 2.0, 3.0, 4.0], np.float32)
+        b = np.array([0.5, 0.5, 2.0, 2.0], np.float32)
+        r = run(k, a=a, b=b, out=np.zeros(4, np.float32))
+        np.testing.assert_allclose(r.array("out"), a * b + a)
+
+
+class TestFunctions:
+    def test_function_loop(self):
+        f = Function(
+            "clamp",
+            ["x"],
+            [
+                If(Compare(v("x"), CmpOp.GT, c(100)), [Return(c(100))], []),
+                If(Compare(v("x"), CmpOp.LT, c(0)), [Return(c(0))], []),
+                Return(v("x")),
+            ],
+        )
+        k = Kernel(
+            "k",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [For("i", c(0), c(5), [Store("out", v("i"), Call("clamp", (Load("a", v("i")),)))])],
+            functions=[f],
+        )
+        a = np.array([-5, 50, 150, 0, 101], np.int32)
+        r = run(k, a=a, out=np.zeros(5, np.int32))
+        assert r.array("out").tolist() == [0, 50, 100, 0, 100]
+
+    def test_two_argument_function(self):
+        f = Function("wsum", ["x", "y"], [Return(add(mul(v("x"), c(3)), v("y")))])
+        k = Kernel(
+            "k",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(4),
+                    [Store("out", v("i"), Call("wsum", (Load("a", v("i")), v("i"))))],
+                )
+            ],
+            functions=[f],
+        )
+        a = np.array([1, 2, 3, 4], np.int32)
+        r = run(k, a=a, out=np.zeros(4, np.int32))
+        assert r.array("out").tolist() == [3 * 1 + 0, 3 * 2 + 1, 3 * 3 + 2, 3 * 4 + 3]
+
+
+class TestSpilling:
+    def test_many_locals_spill_to_frame(self):
+        # more locals than registers: forces spill slots
+        lets = [Let(f"v{i}", c(i * 10)) for i in range(14)]
+        stores = [Store("out", c(i), v(f"v{i}")) for i in range(14)]
+        k = Kernel("k", [ArrayParam("out", DType.I32)], lets + stores)
+        low = lower(k)
+        assert low.frame_size > 0
+        r = execute_kernel(low, {"out": np.zeros(14, np.int32)})
+        assert r.array("out").tolist() == [i * 10 for i in range(14)]
+
+    def test_missing_argument_raises(self):
+        from repro.errors import ConfigError
+
+        k = Kernel("k", [ArrayParam("out", DType.I32), ScalarParam("n")], [])
+        with pytest.raises(ConfigError):
+            execute_kernel(lower(k), {"out": np.zeros(1, np.int32)})
+
+    def test_unknown_argument_raises(self):
+        from repro.errors import ConfigError
+
+        k = Kernel("k", [ArrayParam("out", DType.I32)], [])
+        with pytest.raises(ConfigError):
+            execute_kernel(lower(k), {"out": np.zeros(1, np.int32), "zzz": 3})

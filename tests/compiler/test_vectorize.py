@@ -1,0 +1,382 @@
+"""Static vectorizer tests: decisions match the paper's Table 1, and the
+vectorized binaries compute exactly what the scalar binaries compute."""
+
+import numpy as np
+import pytest
+
+from repro.isa import DType
+from repro.compiler import (
+    ArrayParam,
+    AutoVectorizer,
+    Binary,
+    BinOp,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    HandVectorizer,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Return,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+    lower,
+)
+from repro.compiler.ir import add, c, mul, shr, sub, v
+from repro.systems.runner import execute_kernel
+
+
+def elementwise_kernel(n=64, end=None):
+    """out[i] = (a[i] + b[i]) * 3 for i in 0..n (static or dynamic end)."""
+    bound = end if end is not None else c(n)
+    return Kernel(
+        "ew",
+        [
+            ArrayParam("a", DType.I32),
+            ArrayParam("b", DType.I32),
+            ArrayParam("out", DType.I32),
+            ScalarParam("n"),
+        ],
+        [
+            For(
+                "i", c(0), bound,
+                [Store("out", v("i"), mul(add(Load("a", v("i")), Load("b", v("i"))), c(3)))],
+            )
+        ],
+    )
+
+
+def run_both(kernel, vectorizer, args_factory):
+    scalar = execute_kernel(lower(kernel), args_factory())
+    vec_lowered = lower(kernel, vectorizer=vectorizer)
+    vec = execute_kernel(vec_lowered, args_factory())
+    return scalar, vec, vec_lowered
+
+
+def int_args(n=64, extra=None):
+    def factory():
+        rng = np.random.default_rng(42)
+        args = {
+            "a": rng.integers(-100, 100, n).astype(np.int32),
+            "b": rng.integers(-100, 100, n).astype(np.int32),
+            "out": np.zeros(n, np.int32),
+            "n": n,
+        }
+        args.update(extra or {})
+        return args
+
+    return factory
+
+
+class TestAutoVectorizerDecisions:
+    def test_vectorizes_static_count_loop(self):
+        av = AutoVectorizer()
+        low = lower(elementwise_kernel(64), vectorizer=av)
+        assert low.vectorized_loops == ["i"]
+        assert av.decisions[0].vectorized
+
+    def test_rejects_dynamic_range_with_guard(self):
+        av = AutoVectorizer()
+        low = lower(elementwise_kernel(end=v("n")), vectorizer=av)
+        assert low.vectorized_loops == []
+        assert low.guarded_loops == ["i"]
+        assert av.decisions[0].reason == "dynamic trip count"
+
+    def test_rejects_conditional_loop(self):
+        k = Kernel(
+            "cond",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(32),
+                    [
+                        If(
+                            Compare(Load("a", v("i")), CmpOp.GT, c(0)),
+                            [Store("out", v("i"), c(1))],
+                            [Store("out", v("i"), c(0))],
+                        )
+                    ],
+                )
+            ],
+        )
+        av = AutoVectorizer()
+        low = lower(k, vectorizer=av)
+        assert low.vectorized_loops == []
+        assert av.decisions[0].reason == "conditional body"
+        assert low.guarded_loops == []  # conditionals are not even attempted
+
+    def test_rejects_function_loop(self):
+        f = Function("g", ["x"], [Return(add(v("x"), c(1)))])
+        k = Kernel(
+            "fn",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [For("i", c(0), c(32), [Store("out", v("i"), Call("g", (Load("a", v("i")),)))])],
+            functions=[f],
+        )
+        av = AutoVectorizer()
+        lower(k, vectorizer=av)
+        assert av.decisions[0].reason == "function call in body"
+
+    def test_rejects_cross_iteration_dependency(self):
+        k = Kernel(
+            "dep",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(1), c(32),
+                    [Store("out", v("i"), add(Load("out", sub(v("i"), c(1))), Load("a", v("i"))))],
+                )
+            ],
+        )
+        av = AutoVectorizer()
+        low = lower(k, vectorizer=av)
+        assert av.decisions[0].reason == "unprovable dependency"
+        assert low.guarded_loops == ["i"]  # versioning attempt
+
+    def test_rejects_reduction(self):
+        k = Kernel(
+            "red",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                Let("s", c(0)),
+                For("i", c(0), c(32), [Let("s", add(v("s"), Load("a", v("i"))))]),
+                Store("out", c(0), v("s")),
+            ],
+        )
+        av = AutoVectorizer()
+        low = lower(k, vectorizer=av)
+        assert av.decisions[0].reason == "carry-around scalar"
+        assert low.guarded_loops == []
+
+    def test_rejects_mixed_widths(self):
+        k = Kernel(
+            "mix",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I16)],
+            [For("i", c(0), c(32), [Store("out", v("i"), Load("a", v("i")))])],
+        )
+        av = AutoVectorizer()
+        lower(k, vectorizer=av)
+        assert av.decisions[0].reason == "mixed element widths"
+
+    def test_rejects_sub_vector_trip_count(self):
+        av = AutoVectorizer()
+        low = lower(elementwise_kernel(3), vectorizer=av)
+        assert low.vectorized_loops == []
+
+
+class TestAutoVectorizedExecution:
+    @pytest.mark.parametrize("n", [4, 16, 37, 64, 100])
+    def test_matches_scalar_with_leftovers(self, n):
+        scalar, vec, _ = run_both(elementwise_kernel(n), AutoVectorizer(), int_args(n))
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_vector_is_faster_at_scale(self):
+        n = 512
+        scalar, vec, _ = run_both(elementwise_kernel(n), AutoVectorizer(), int_args(n))
+        assert vec.cycles < scalar.cycles
+
+    def test_read_modify_write_stream(self):
+        n = 32
+        k = Kernel(
+            "rmw",
+            [ArrayParam("out", DType.I32), ArrayParam("a", DType.I32)],
+            [For("i", c(0), c(n), [Store("out", v("i"), add(Load("out", v("i")), Load("a", v("i"))))])],
+        )
+
+        def args():
+            return {"out": np.arange(n, dtype=np.int32), "a": np.ones(n, np.int32)}
+
+        scalar, vec, low = run_both(k, AutoVectorizer(), args)
+        assert low.vectorized_loops == ["i"]
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_stencil_with_offsets(self):
+        n = 64
+        k = Kernel(
+            "stencil",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(1), c(n - 1),
+                    [
+                        Store(
+                            "out", v("i"),
+                            add(add(Load("a", sub(v("i"), c(1))), Load("a", v("i"))), Load("a", add(v("i"), c(1)))),
+                        )
+                    ],
+                )
+            ],
+        )
+
+        def args():
+            return {"a": np.arange(n, dtype=np.int32) ** 2 % 97, "out": np.zeros(n, np.int32)}
+
+        scalar, vec, low = run_both(k, AutoVectorizer(), args)
+        assert low.vectorized_loops == ["i"]
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_u8_sixteen_lanes(self):
+        n = 50
+        k = Kernel(
+            "sat",
+            [ArrayParam("a", DType.U8), ArrayParam("b", DType.U8), ArrayParam("out", DType.U8)],
+            [
+                For(
+                    "i", c(0), c(n),
+                    [Store("out", v("i"), Binary(BinOp.MIN, add(Load("a", v("i")), Load("b", v("i"))), c(200)))],
+                )
+            ],
+        )
+        def args():
+            rng = np.random.default_rng(7)
+            return {
+                "a": rng.integers(0, 100, n).astype(np.uint8),
+                "b": rng.integers(0, 100, n).astype(np.uint8),
+                "out": np.zeros(n, np.uint8),
+            }
+
+        scalar, vec, low = run_both(k, AutoVectorizer(), args)
+        assert low.vectorized_loops == ["i"]
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_float_lanes(self):
+        n = 40
+        k = Kernel(
+            "fmadd",
+            [ArrayParam("a", DType.F32), ArrayParam("b", DType.F32), ArrayParam("out", DType.F32)],
+            [For("i", c(0), c(n), [Store("out", v("i"), add(mul(Load("a", v("i")), Load("b", v("i"))), Load("a", v("i"))))])],
+        )
+        def args():
+            rng = np.random.default_rng(3)
+            return {
+                "a": rng.random(n).astype(np.float32),
+                "b": rng.random(n).astype(np.float32),
+                "out": np.zeros(n, np.float32),
+            }
+
+        scalar, vec, low = run_both(k, AutoVectorizer(), args)
+        assert low.vectorized_loops == ["i"]
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+
+class TestHandVectorizer:
+    def test_static_knowledge_only_no_dynamic_range(self):
+        """Hand coding is static (paper, Table 2): runtime trip counts stay
+        scalar, exactly like the compiler — only the DSA reaches them."""
+        hv = HandVectorizer()
+        k = elementwise_kernel(end=v("n"))
+        low = lower(k, vectorizer=hv)
+        assert low.vectorized_loops == []
+        assert hv.decisions[0].reason == "dynamic trip count"
+        # no versioning guards either: a human does not emit fallback checks
+        assert low.guarded_loops == []
+        for n in [5, 39]:
+            scalar = execute_kernel(lower(k), int_args(n)())
+            vec = execute_kernel(low, int_args(n)())
+            np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_handles_conditional_two_store(self):
+        n = 48
+        k = Kernel(
+            "cond",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(n),
+                    [
+                        If(
+                            Compare(Load("a", v("i")), CmpOp.GT, c(0)),
+                            [Store("out", v("i"), mul(Load("a", v("i")), c(2)))],
+                            [Store("out", v("i"), c(-1))],
+                        )
+                    ],
+                )
+            ],
+        )
+        def args():
+            rng = np.random.default_rng(5)
+            return {"a": rng.integers(-50, 50, n).astype(np.int32), "out": np.zeros(n, np.int32)}
+
+        scalar, vec, low = run_both(k, HandVectorizer(), args)
+        assert low.vectorized_loops == ["i"]
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_handles_conditional_single_store(self):
+        n = 32
+        # if a[i] < out[i]: out[i] = a[i]   (relaxation, Dijkstra-style)
+        k = Kernel(
+            "relax",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(n),
+                    [
+                        If(
+                            Compare(Load("a", v("i")), CmpOp.LT, Load("out", v("i"))),
+                            [Store("out", v("i"), Load("a", v("i")))],
+                            [],
+                        )
+                    ],
+                )
+            ],
+        )
+        def args():
+            rng = np.random.default_rng(11)
+            return {
+                "a": rng.integers(0, 100, n).astype(np.int32),
+                "out": rng.integers(0, 100, n).astype(np.int32),
+            }
+
+        scalar, vec, low = run_both(k, HandVectorizer(), args)
+        assert low.vectorized_loops == ["i"]
+        np.testing.assert_array_equal(scalar.array("out"), vec.array("out"))
+
+    def test_does_not_touch_sentinel_loops(self):
+        k = Kernel(
+            "sent",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                Let("i", c(0)),
+                While(
+                    Compare(Load("a", v("i")), CmpOp.NE, c(0)),
+                    [Store("out", v("i"), Load("a", v("i"))), Let("i", add(v("i"), c(1)))],
+                ),
+            ],
+        )
+        hv = HandVectorizer()
+        low = lower(k, vectorizer=hv)
+        assert low.vectorized_loops == []
+
+        a = np.array([5, 4, 3, 0, 9], np.int32)
+        r = execute_kernel(low, {"a": a, "out": np.zeros(5, np.int32)})
+        assert r.array("out").tolist() == [5, 4, 3, 0, 0]
+
+    def test_glue_overhead_emitted(self):
+        low = lower(elementwise_kernel(64), vectorizer=HandVectorizer())
+        assert low.glue_instructions > 0
+        low_auto = lower(elementwise_kernel(64), vectorizer=AutoVectorizer())
+        assert low_auto.glue_instructions == 0
+
+    def test_hand_slower_than_autovec_on_static_loops(self):
+        """Library glue makes hand code slightly slower where autovec works."""
+        n = 64
+        _, auto, _ = run_both(elementwise_kernel(n), AutoVectorizer(), int_args(n))
+        _, hand, _ = run_both(elementwise_kernel(n), HandVectorizer(), int_args(n))
+        assert hand.cycles >= auto.cycles
+
+
+class TestGuardCost:
+    def test_guard_adds_small_overhead(self):
+        k = elementwise_kernel(end=v("n"))
+        n = 256
+        plain = execute_kernel(lower(k), int_args(n)())
+        guarded = execute_kernel(lower(k, vectorizer=AutoVectorizer()), int_args(n)())
+        assert guarded.cycles > plain.cycles
+        # the penalty is small (paper reports 1-3%)
+        assert guarded.cycles < plain.cycles * 1.10

@@ -1,0 +1,204 @@
+"""Unit tests for the pure functional semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.dtypes import bits_to_float, float_to_bits, to_s32, to_u32
+from repro.isa.instructions import AluKind, FloatKind, MulKind
+from repro.isa.operands import Address, Cond, Imm, IndexMode, Reg, ShiftedReg, ShiftKind
+from repro.cpu.executor import (
+    Flags,
+    alu_compute,
+    apply_shift,
+    cond_holds,
+    effective_address,
+    eval_operand2,
+    flags_for_add,
+    flags_for_logical,
+    flags_for_sub,
+    float_compute,
+    load_to_register,
+    mul_compute,
+)
+
+u32 = st.integers(0, 0xFFFFFFFF)
+
+
+class TestAlu:
+    def test_add_wraps(self):
+        assert alu_compute(AluKind.ADD, 0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu_compute(AluKind.SUB, 0, 1) == 0xFFFFFFFF
+
+    def test_rsb(self):
+        assert alu_compute(AluKind.RSB, 3, 10) == 7
+
+    def test_logical(self):
+        assert alu_compute(AluKind.AND, 0b1100, 0b1010) == 0b1000
+        assert alu_compute(AluKind.ORR, 0b1100, 0b1010) == 0b1110
+        assert alu_compute(AluKind.EOR, 0b1100, 0b1010) == 0b0110
+        assert alu_compute(AluKind.BIC, 0b1111, 0b0101) == 0b1010
+
+    def test_shifts(self):
+        assert alu_compute(AluKind.LSL, 1, 4) == 16
+        assert alu_compute(AluKind.LSR, 0x80000000, 31) == 1
+        assert alu_compute(AluKind.ASR, 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_min_max_signed(self):
+        assert to_s32(alu_compute(AluKind.MIN, to_u32(-5), 3)) == -5
+        assert to_s32(alu_compute(AluKind.MAX, to_u32(-5), 3)) == 3
+
+    @given(u32, u32)
+    def test_add_sub_inverse(self, a, b):
+        s = alu_compute(AluKind.ADD, a, b)
+        assert alu_compute(AluKind.SUB, s, b) == a
+
+
+class TestShifts:
+    def test_lsl_overflow(self):
+        assert apply_shift(1, ShiftKind.LSL, 31) == 0x80000000
+
+    def test_asr_sign_fill(self):
+        assert apply_shift(0xFFFFFFF0, ShiftKind.ASR, 4) == 0xFFFFFFFF
+
+    def test_zero_shift_identity(self):
+        assert apply_shift(123, ShiftKind.LSR, 0) == 123
+
+
+class TestFlags:
+    def test_sub_equal_sets_z_and_c(self):
+        f = flags_for_sub(5, 5)
+        assert f.z and f.c and not f.n
+
+    def test_sub_borrow_clears_c(self):
+        f = flags_for_sub(3, 5)
+        assert not f.c and f.n
+
+    def test_add_carry(self):
+        f = flags_for_add(0xFFFFFFFF, 1)
+        assert f.c and f.z
+
+    def test_signed_overflow(self):
+        f = flags_for_add(0x7FFFFFFF, 1)
+        assert f.v and f.n
+        f = flags_for_sub(0x80000000, 1)
+        assert f.v
+
+    def test_logical_preserves_cv(self):
+        prev = Flags(c=True, v=True)
+        f = flags_for_logical(0, prev)
+        assert f.z and f.c and f.v
+
+
+class TestConditions:
+    @pytest.mark.parametrize(
+        "a,b,true_conds",
+        [
+            (5, 5, {Cond.EQ, Cond.GE, Cond.LE, Cond.HS, Cond.PL}),
+            (3, 5, {Cond.NE, Cond.LT, Cond.LE, Cond.LO, Cond.MI}),
+            (7, 5, {Cond.NE, Cond.GT, Cond.GE, Cond.HS, Cond.PL}),
+        ],
+    )
+    def test_cmp_condition_table(self, a, b, true_conds):
+        f = flags_for_sub(a, b)
+        for cond in Cond:
+            if cond is Cond.AL:
+                assert cond_holds(cond, f)
+            else:
+                assert cond_holds(cond, f) == (cond in true_conds), cond
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_signed_comparisons_match_python(self, a, b):
+        f = flags_for_sub(to_u32(a), to_u32(b))
+        assert cond_holds(Cond.LT, f) == (a < b)
+        assert cond_holds(Cond.GE, f) == (a >= b)
+        assert cond_holds(Cond.GT, f) == (a > b)
+        assert cond_holds(Cond.LE, f) == (a <= b)
+        assert cond_holds(Cond.EQ, f) == (a == b)
+
+    @given(u32, u32)
+    def test_unsigned_comparisons_match_python(self, a, b):
+        f = flags_for_sub(a, b)
+        assert cond_holds(Cond.LO, f) == (a < b)
+        assert cond_holds(Cond.HS, f) == (a >= b)
+
+
+class TestMul:
+    def test_mul_wraps(self):
+        assert mul_compute(MulKind.MUL, 0x10000, 0x10000) == 0
+
+    def test_mla(self):
+        assert mul_compute(MulKind.MLA, 3, 4, 5) == 17
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert to_s32(mul_compute(MulKind.SDIV, to_u32(-7), 2)) == -3
+
+    def test_div_by_zero_is_zero(self):
+        assert mul_compute(MulKind.SDIV, 5, 0) == 0
+        assert mul_compute(MulKind.UDIV, 5, 0) == 0
+
+    def test_udiv(self):
+        assert mul_compute(MulKind.UDIV, 0xFFFFFFFE, 2) == 0x7FFFFFFF
+
+
+class TestFloat:
+    def test_fadd(self):
+        r = float_compute(FloatKind.FADD, float_to_bits(1.5), float_to_bits(2.25))
+        assert bits_to_float(r) == 3.75
+
+    def test_fmul(self):
+        r = float_compute(FloatKind.FMUL, float_to_bits(3.0), float_to_bits(0.5))
+        assert bits_to_float(r) == 1.5
+
+    def test_fdiv_by_zero(self):
+        r = float_compute(FloatKind.FDIV, float_to_bits(1.0), float_to_bits(0.0))
+        assert bits_to_float(r) == float("inf")
+
+
+class TestOperand2AndAddressing:
+    def test_eval_imm_reg_shifted(self):
+        regs = [0] * 16
+        regs[4] = 3
+        assert eval_operand2(regs, Imm(-1)) == 0xFFFFFFFF
+        assert eval_operand2(regs, Reg(4)) == 3
+        assert eval_operand2(regs, ShiftedReg(Reg(4), ShiftKind.LSL, 2)) == 12
+
+    def test_offset_mode(self):
+        regs = [0] * 16
+        regs[1] = 0x100
+        ea, wb = effective_address(regs, Address(Reg(1), Imm(8)))
+        assert ea == 0x108 and wb is None
+
+    def test_pre_index(self):
+        regs = [0] * 16
+        regs[1] = 0x100
+        ea, wb = effective_address(regs, Address(Reg(1), Imm(8), IndexMode.PRE))
+        assert ea == 0x108 and wb == 0x108
+
+    def test_post_index(self):
+        regs = [0] * 16
+        regs[1] = 0x100
+        ea, wb = effective_address(regs, Address(Reg(1), Imm(8), IndexMode.POST))
+        assert ea == 0x100 and wb == 0x108
+
+    def test_register_offset_with_shift(self):
+        regs = [0] * 16
+        regs[1], regs[2] = 0x100, 4
+        addr = Address(Reg(1), ShiftedReg(Reg(2), ShiftKind.LSL, 2))
+        ea, _ = effective_address(regs, addr)
+        assert ea == 0x110
+
+
+class TestLoadExtension:
+    def test_signed_byte_extends(self):
+        from repro.isa.dtypes import DType
+
+        assert load_to_register(-1, DType.I8) == 0xFFFFFFFF
+        assert load_to_register(200, DType.U8) == 200
+
+    def test_float_load_is_bit_pattern(self):
+        from repro.isa.dtypes import DType
+
+        assert load_to_register(1.0, DType.F32) == float_to_bits(1.0)

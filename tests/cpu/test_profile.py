@@ -1,0 +1,97 @@
+"""Tests for the loop profiler."""
+
+import numpy as np
+
+from repro.isa import assemble
+from repro.memory import MainMemory
+from repro.cpu import Core
+from repro.cpu.profile import LoopProfiler
+from repro.compiler import lower
+from repro.systems.runner import execute_kernel
+from repro.workloads import load
+from repro.workloads.synthetic import vecsum
+
+
+def profiled_run(source: str, regs=None) -> LoopProfiler:
+    core = Core(assemble(source), MainMemory(1 << 20))
+    for idx, value in (regs or {}).items():
+        core.set_reg(idx, value)
+    profiler = LoopProfiler()
+    core.retire_hooks.append(profiler)
+    core.run()
+    return profiler
+
+
+SIMPLE = """
+    mov r0, #0
+loop:
+    add r0, r0, #1
+    cmp r0, #10
+    blt loop
+    halt
+"""
+
+
+class TestLoopProfiler:
+    def test_detects_the_loop(self):
+        p = profiled_run(SIMPLE)
+        assert len(p.loops) == 1
+        profile = next(iter(p.loops.values()))
+        assert profile.invocations == 1
+        assert profile.iterations == 10
+        assert profile.avg_trip_count == 10.0
+
+    def test_no_loops_in_straight_line(self):
+        p = profiled_run("mov r0, #1\nadd r1, r0, #2\nhalt")
+        assert p.loops == {}
+        assert p.coverage() == 0.0
+
+    def test_multiple_invocations(self):
+        source = """
+            mov r2, #0
+        outer:
+            mov r0, #0
+        inner:
+            add r0, r0, #1
+            cmp r0, #5
+            blt inner
+            add r2, r2, #1
+            cmp r2, #3
+            blt outer
+            halt
+        """
+        p = profiled_run(source)
+        assert len(p.loops) == 2
+        inner = min(p.loops.values(), key=lambda q: q.body_instructions)
+        assert inner.invocations == 3
+        assert inner.iterations == 15
+
+    def test_coverage_mostly_in_loops(self):
+        p = profiled_run(SIMPLE)
+        assert p.coverage() > 0.8
+
+    def test_table_renders(self):
+        p = profiled_run(SIMPLE)
+        text = p.table()
+        assert "loop coverage" in text and "0x" in text
+
+    def test_on_a_real_workload(self):
+        wl = load("rgb_gray", "test")
+        profiler = LoopProfiler()
+        run = execute_kernel(
+            lower(wl.kernel), wl.fresh_args(), attach=lambda core: core.retire_hooks.append(profiler)
+        )
+        assert profiler.coverage() > 0.9  # rgb_gray is one hot loop
+        hottest = profiler.hottest(1)[0]
+        assert hottest.iterations == 256
+
+    def test_hottest_ordering(self):
+        wl = vecsum(n=64)
+        profiler = LoopProfiler()
+        execute_kernel(
+            lower(wl.kernel), wl.fresh_args(), attach=lambda core: core.retire_hooks.append(profiler)
+        )
+        tops = profiler.hottest()
+        assert all(
+            tops[i].instructions >= tops[i + 1].instructions for i in range(len(tops) - 1)
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for the DSA's private storage structures."""
+
+import pytest
+
+from repro.dsa import DSAConfig, DSACache, VerificationCache
+from repro.dsa.caches import ArrayMaps
+
+
+class TestDSACache:
+    def test_capacity_from_config(self):
+        cache = DSACache(DSAConfig())
+        assert cache.capacity == 8 * 1024 // 64  # Table 4: 8 KB
+
+    def test_hit_miss_accounting(self):
+        cache = DSACache(DSAConfig())
+        assert cache.lookup(0x100) is None
+        cache.insert(0x100, "entry")
+        assert cache.lookup(0x100) == "entry"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = DSACache(DSAConfig(dsa_cache_bytes=128, dsa_cache_entry_bytes=64))
+        assert cache.capacity == 2
+        cache.insert(1, "a")
+        cache.insert(2, "b")
+        cache.lookup(1)          # 2 becomes LRU
+        cache.insert(3, "c")     # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_reinsert_updates(self):
+        cache = DSACache(DSAConfig())
+        cache.insert(1, "a")
+        cache.insert(1, "b")
+        assert cache.lookup(1) == "b"
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = DSACache(DSAConfig())
+        cache.insert(1, "a")
+        cache.invalidate(1)
+        assert 1 not in cache
+
+
+class TestVerificationCache:
+    def test_capacity_from_config(self):
+        vc = VerificationCache(DSAConfig())
+        assert vc.capacity == 1024 // 8  # Table 4: 1 KB
+
+    def test_records_per_pc(self):
+        vc = VerificationCache(DSAConfig())
+        assert vc.record(0x10, 0x100)
+        assert vc.record(0x10, 0x104)
+        assert vc.addresses(0x10) == [0x100, 0x104]
+        assert len(vc) == 1
+
+    def test_overflow_on_too_many_static_accesses(self):
+        vc = VerificationCache(DSAConfig(verification_cache_bytes=16, verification_entry_bytes=8))
+        assert vc.capacity == 2
+        assert vc.record(0x10, 1)
+        assert vc.record(0x14, 2)
+        assert not vc.record(0x18, 3)
+        assert vc.overflowed
+
+    def test_reset(self):
+        vc = VerificationCache(DSAConfig())
+        vc.record(0x10, 1)
+        vc.overflowed = True
+        vc.reset()
+        assert len(vc) == 0 and not vc.overflowed
+
+
+class TestArrayMaps:
+    def test_budget_is_slots_plus_spares(self):
+        maps = ArrayMaps(slots=4, spare_neon_regs=2)
+        assert maps.can_allocate(6)
+        assert not maps.can_allocate(7)
+
+    def test_allocation_tracking(self):
+        maps = ArrayMaps(slots=4, spare_neon_regs=0)
+        assert maps.allocate(3)
+        assert not maps.allocate(2)
+        assert maps.allocate(1)
+        assert maps.peak == 4
+        maps.release_all()
+        assert maps.in_use == 0 and maps.peak == 4

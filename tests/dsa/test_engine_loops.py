@@ -1,0 +1,537 @@
+"""DSA integration tests: one scenario per loop type the paper covers.
+
+Every test runs the same scalar binary twice — plain, and with the DSA
+attached — and checks that (a) the architectural results are identical,
+(b) the DSA classified the loop as the paper's taxonomy says, and (c) the
+replaced timing moves in the right direction.  ``verify_functional`` stays
+on, so every vectorized region is additionally replayed through the
+template evaluator and compared bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa import DType
+from repro.compiler import (
+    ArrayParam,
+    Binary,
+    BinOp,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Return,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+    lower,
+)
+from repro.compiler.ir import add, c, mul, shr, sub, v
+from repro.dsa import (
+    DSAConfig,
+    DSAFeatures,
+    DynamicSIMDAssembler,
+    LoopKind,
+)
+from repro.systems.runner import execute_kernel
+
+
+def run_pair(kernel, args_factory, config=None):
+    """Run scalar-only and scalar+DSA; return (plain, dsa_run, dsa)."""
+    low = lower(kernel)
+    plain = execute_kernel(low, args_factory())
+    dsa = DynamicSIMDAssembler(config or DSAConfig())
+    dsa_run = execute_kernel(low, args_factory(), attach=dsa.attach)
+    return plain, dsa_run, dsa
+
+
+def assert_same_arrays(plain, dsa_run, names):
+    for name in names:
+        np.testing.assert_array_equal(plain.array(name), dsa_run.array(name), err_msg=name)
+
+
+# ---------------------------------------------------------------------------
+# count loops (paper Section 4.6.1)
+# ---------------------------------------------------------------------------
+class TestCountLoops:
+    def kernel(self, n=120):
+        return Kernel(
+            "count",
+            [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(n),
+                    [Store("out", v("i"), mul(add(Load("a", v("i")), Load("b", v("i"))), c(3)))],
+                )
+            ],
+        )
+
+    def args(self, n=120):
+        def factory():
+            rng = np.random.default_rng(1)
+            return {
+                "a": rng.integers(-1000, 1000, n).astype(np.int32),
+                "b": rng.integers(-1000, 1000, n).astype(np.int32),
+                "out": np.zeros(n, np.int32),
+            }
+
+        return factory
+
+    def test_results_identical_and_faster(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["count"] == 1
+        assert dsa_run.cycles < plain.cycles
+
+    def test_covered_iterations_exclude_analysis(self):
+        _, _, dsa = run_pair(self.kernel(120), self.args(120))
+        # 3 iterations are burned on detection/collection/analysis
+        assert dsa.stats.iterations_covered == 117
+
+    @pytest.mark.parametrize("n", [8, 17, 33, 64])
+    def test_various_trip_counts(self, n):
+        plain, dsa_run, dsa = run_pair(self.kernel(n), self.args(n))
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.verifications >= 1
+
+    def test_too_short_loop_stays_scalar(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(5), self.args(5))
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.iterations_covered == 0
+
+    def test_feature_gate_disables_count(self):
+        cfg = DSAConfig(features=DSAFeatures(count=False))
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(), cfg)
+        assert dsa.stats.iterations_covered == 0
+        assert_same_arrays(plain, dsa_run, ["out"])
+
+    def test_second_invocation_uses_cache(self):
+        # the same loop body runs twice (outer repetition through two loops)
+        n = 64
+        k = Kernel(
+            "twice",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For("i", c(0), c(n), [Store("out", v("i"), add(Load("a", v("i")), c(1)))]),
+                For("j", c(0), c(n), [Store("out", v("j"), add(Load("out", v("j")), c(1)))]),
+            ],
+        )
+
+        def factory():
+            return {"a": np.arange(n, dtype=np.int32), "out": np.zeros(n, np.int32)}
+
+        plain, dsa_run, dsa = run_pair(k, factory)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["count"] == 2
+
+
+# ---------------------------------------------------------------------------
+# dynamic range loops, type A (paper Section 4.6.6)
+# ---------------------------------------------------------------------------
+class TestDynamicRangeLoops:
+    def kernel(self):
+        return Kernel(
+            "drla",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ScalarParam("n")],
+            [For("i", c(0), v("n"), [Store("out", v("i"), sub(Load("a", v("i")), c(7)))])],
+        )
+
+    def args(self, n):
+        def factory():
+            return {"a": np.arange(200, dtype=np.int32), "out": np.zeros(200, np.int32), "n": n}
+
+        return factory
+
+    def test_vectorized_at_runtime(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(150))
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["dynamic_range"] == 1
+        assert dsa_run.cycles < plain.cycles
+
+    def test_feature_gate(self):
+        cfg = DSAConfig(features=DSAFeatures.original())
+        _, _, dsa = run_pair(self.kernel(), self.args(150), cfg)
+        assert dsa.stats.vectorized_invocations["dynamic_range"] == 0
+
+    def test_small_runtime_range_stays_scalar(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(6))
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.iterations_covered == 0
+
+
+# ---------------------------------------------------------------------------
+# function loops (paper Section 4.6.2)
+# ---------------------------------------------------------------------------
+class TestFunctionLoops:
+    def kernel(self, n=96):
+        f = Function("scale_bias", ["x"], [Return(add(mul(v("x"), c(5)), c(3)))])
+        return Kernel(
+            "funcloop",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [For("i", c(0), c(n), [Store("out", v("i"), Call("scale_bias", (Load("a", v("i")),)))])],
+            functions=[f],
+        )
+
+    def args(self, n=96):
+        def factory():
+            return {"a": np.arange(n, dtype=np.int32) - 40, "out": np.zeros(n, np.int32)}
+
+        return factory
+
+    def test_function_loop_vectorized(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["function"] == 1
+        assert dsa_run.cycles < plain.cycles
+
+    def test_feature_gate(self):
+        cfg = DSAConfig(features=DSAFeatures(function=False))
+        _, _, dsa = run_pair(self.kernel(), self.args(), cfg)
+        assert dsa.stats.vectorized_invocations["function"] == 0
+
+
+# ---------------------------------------------------------------------------
+# inner/outer loops (paper Section 4.6.3)
+# ---------------------------------------------------------------------------
+class TestNestedLoops:
+    def kernel(self, rows=6, cols=40):
+        return Kernel(
+            "nested",
+            [ArrayParam("m", DType.I32), ArrayParam("out", DType.I32), ScalarParam("w")],
+            [
+                For(
+                    "y", c(0), c(rows),
+                    [
+                        For(
+                            "x", c(0), c(cols),
+                            [
+                                Store(
+                                    "out",
+                                    add(mul(v("y"), v("w")), v("x")),
+                                    add(Load("m", add(mul(v("y"), v("w")), v("x"))), v("y")),
+                                )
+                            ],
+                        )
+                    ],
+                )
+            ],
+        )
+
+    def args(self, rows=6, cols=40):
+        def factory():
+            return {
+                "m": np.arange(rows * cols, dtype=np.int32),
+                "out": np.zeros(rows * cols, np.int32),
+                "w": cols,
+            }
+
+        return factory
+
+    def test_inner_loop_vectorized_every_outer_iteration(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        # the inner loop vectorizes on each of the 6 outer iterations
+        assert dsa.stats.vectorized_invocations["count"] == 6
+        assert dsa_run.cycles < plain.cycles
+
+    def test_outer_loop_marked_nested(self):
+        _, _, dsa = run_pair(self.kernel(), self.args())
+        assert dsa.stats.verdicts["nested_outer"] == 1
+
+
+# ---------------------------------------------------------------------------
+# conditional loops (paper Section 4.6.4)
+# ---------------------------------------------------------------------------
+class TestConditionalLoops:
+    def kernel(self, n=120, with_else=True):
+        else_body = [Store("out", v("i"), sub(Load("a", v("i")), Load("b", v("i"))))] if with_else else []
+        return Kernel(
+            "cond",
+            [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(n),
+                    [
+                        If(
+                            Compare(Load("a", v("i")), CmpOp.GT, c(0)),
+                            [Store("out", v("i"), add(Load("a", v("i")), Load("b", v("i"))))],
+                            else_body,
+                        )
+                    ],
+                )
+            ],
+        )
+
+    def args(self, n=120):
+        def factory():
+            rng = np.random.default_rng(9)
+            return {
+                "a": rng.integers(-50, 50, n).astype(np.int32),
+                "b": rng.integers(-50, 50, n).astype(np.int32),
+                "out": np.zeros(n, np.int32),
+            }
+
+        return factory
+
+    def test_if_else_vectorized_with_mapping(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["conditional"] == 1
+        assert dsa.stats.stage_activations["mapping"] >= 1
+        assert dsa_run.cycles < plain.cycles
+
+    def test_if_without_else(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(with_else=False), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["conditional"] == 1
+
+    def test_feature_gate(self):
+        cfg = DSAConfig(features=DSAFeatures.original())
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(), cfg)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["conditional"] == 0
+
+    def test_one_sided_data_never_completes_mapping(self):
+        # condition never true: the else path never runs, so its
+        # instruction addresses are never covered and mapping cannot finish
+        def factory():
+            return {
+                "a": -np.ones(120, np.int32),
+                "b": np.ones(120, np.int32),
+                "out": np.zeros(120, np.int32),
+            }
+
+        plain, dsa_run, dsa = run_pair(self.kernel(), factory)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["conditional"] == 0
+
+    def test_array_map_pressure_rejects(self):
+        cfg = DSAConfig(array_maps=0, spare_neon_regs=1)
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(), cfg)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["conditional"] == 0
+
+
+# ---------------------------------------------------------------------------
+# sentinel loops (paper Section 4.6.5)
+# ---------------------------------------------------------------------------
+class TestSentinelLoops:
+    def kernel(self):
+        # copy until the sentinel (zero) is found
+        return Kernel(
+            "sentinel",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                Let("i", c(0)),
+                While(
+                    Compare(Load("a", v("i")), CmpOp.NE, c(0)),
+                    [
+                        Store("out", v("i"), mul(Load("a", v("i")), c(2))),
+                        Let("i", add(v("i"), c(1))),
+                    ],
+                ),
+            ],
+        )
+
+    def args(self, valid=40, total=64):
+        def factory():
+            a = np.arange(1, total + 1, dtype=np.int32)
+            a[valid] = 0
+            return {"a": a, "out": np.zeros(total, np.int32)}
+
+        return factory
+
+    def test_sentinel_vectorized_speculatively(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["sentinel"] == 1
+        # the first invocation only speculates one vector's worth; coverage
+        # (not end-to-end speedup) is the claim here
+        assert dsa.stats.iterations_covered > 0
+
+    def test_repeated_sentinel_gets_faster(self):
+        """Fig. 23: the speculative range follows the last observed range,
+        so repeated executions of the same sentinel loop are covered almost
+        entirely and the DSA run wins end to end."""
+        k = Kernel(
+            "sent_rep",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "r", c(0), c(6),
+                    [
+                        Let("i", c(0)),
+                        While(
+                            Compare(Load("a", v("i")), CmpOp.NE, c(0)),
+                            [
+                                Store("out", v("i"), add(Load("a", v("i")), v("r"))),
+                                Let("i", add(v("i"), c(1))),
+                            ],
+                        ),
+                    ],
+                )
+            ],
+        )
+
+        def factory():
+            a = np.arange(1, 129, dtype=np.int32)
+            a[100] = 0
+            return {"a": a, "out": np.zeros(128, np.int32)}
+
+        plain, dsa_run, dsa = run_pair(k, factory)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["sentinel"] >= 2
+        assert dsa_run.cycles < plain.cycles
+
+    def test_feature_gate(self):
+        from repro.dsa import EXTENDED_DSA_CONFIG
+
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(), EXTENDED_DSA_CONFIG)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["sentinel"] == 0
+
+    def test_speculative_range_remembered(self):
+        # the same sentinel loop executed twice: the second run speculates
+        # with the first run's observed range
+        k = Kernel(
+            "sent2",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ArrayParam("b", DType.I32)],
+            [
+                Let("i", c(0)),
+                While(
+                    Compare(Load("a", v("i")), CmpOp.NE, c(0)),
+                    [Store("out", v("i"), add(Load("a", v("i")), c(1))), Let("i", add(v("i"), c(1)))],
+                ),
+                Let("j", c(0)),
+                While(
+                    Compare(Load("a", v("j")), CmpOp.NE, c(0)),
+                    [Store("b", v("j"), add(Load("a", v("j")), c(2))), Let("j", add(v("j"), c(1)))],
+                ),
+            ],
+        )
+
+        def factory():
+            a = np.arange(1, 65, dtype=np.int32)
+            a[50] = 0
+            return {"a": a, "out": np.zeros(64, np.int32), "b": np.zeros(64, np.int32)}
+
+        plain, dsa_run, dsa = run_pair(k, factory)
+        assert_same_arrays(plain, dsa_run, ["out", "b"])
+
+
+# ---------------------------------------------------------------------------
+# partial vectorization (paper Section 4.5)
+# ---------------------------------------------------------------------------
+class TestPartialVectorization:
+    def kernel(self, n=96, distance=24):
+        # out[i+distance] = a[i] ... reads out[i]: write lands `distance`
+        # iterations ahead -> partial chunks of `distance` rounded to lanes
+        return Kernel(
+            "partial",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(0), c(n),
+                    [
+                        Store(
+                            "out",
+                            add(v("i"), c(distance)),
+                            add(Load("out", v("i")), Load("a", v("i"))),
+                        )
+                    ],
+                )
+            ],
+        )
+
+    def args(self, n=96, distance=24):
+        def factory():
+            return {
+                "a": np.arange(n, dtype=np.int32),
+                "out": np.arange(n + distance, dtype=np.int32) * 10,
+            }
+
+        return factory
+
+    def test_partial_chunks_match_scalar(self):
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args())
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["partial"] == 1
+
+    def test_partial_disabled_stays_scalar(self):
+        from repro.dsa import EXTENDED_DSA_CONFIG
+
+        plain, dsa_run, dsa = run_pair(self.kernel(), self.args(), EXTENDED_DSA_CONFIG)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.vectorized_invocations["partial"] == 0
+        assert dsa.stats.iterations_covered == 0
+
+    def test_tight_dependency_not_vectorized(self):
+        # distance 2 < lanes: no profitable chunk
+        plain, dsa_run, dsa = run_pair(self.kernel(distance=2), self.args(distance=2))
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.iterations_covered == 0
+
+
+# ---------------------------------------------------------------------------
+# classic non-vectorizable shapes stay scalar and correct
+# ---------------------------------------------------------------------------
+class TestNonVectorizable:
+    def test_true_recurrence(self):
+        # out[i] = out[i-1] + a[i]  (paper Fig. 8b)
+        n = 64
+        k = Kernel(
+            "recur",
+            [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                For(
+                    "i", c(1), c(n),
+                    [Store("out", v("i"), add(Load("out", sub(v("i"), c(1))), Load("a", v("i"))))],
+                )
+            ],
+        )
+
+        def factory():
+            return {"a": np.ones(n, np.int32), "out": np.zeros(n, np.int32)}
+
+        plain, dsa_run, dsa = run_pair(k, factory)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.iterations_covered == 0
+
+    def test_reduction_not_vectorized(self):
+        n = 64
+        k = Kernel(
+            "dot",
+            [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+            [
+                Let("s", c(0)),
+                For("i", c(0), c(n), [Let("s", add(v("s"), mul(Load("a", v("i")), Load("b", v("i")))))]),
+                Store("out", c(0), v("s")),
+            ],
+        )
+
+        def factory():
+            return {
+                "a": np.arange(n, dtype=np.int32),
+                "b": np.arange(n, dtype=np.int32),
+                "out": np.zeros(1, np.int32),
+            }
+
+        plain, dsa_run, dsa = run_pair(k, factory)
+        assert_same_arrays(plain, dsa_run, ["out"])
+        assert dsa.stats.iterations_covered == 0
+
+    def test_no_loop_no_work(self):
+        k = Kernel(
+            "straight",
+            [ArrayParam("out", DType.I32)],
+            [Store("out", c(0), c(42))],
+        )
+        _, _, dsa = run_pair(k, lambda: {"out": np.zeros(1, np.int32)})
+        assert dsa.stats.loops_detected == 0

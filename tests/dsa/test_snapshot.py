@@ -1,0 +1,110 @@
+"""Unit tests for the region snapshot used by functional verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.isa import DType
+from repro.memory import MainMemory
+from repro.dsa import RegionSnapshot
+
+
+def make_memory() -> MainMemory:
+    mem = MainMemory(1 << 16)
+    mem.write_array(0x100, np.arange(64, dtype=np.int32))
+    return mem
+
+
+class TestCapture:
+    def test_captured_region_reads_back(self):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 256)
+        assert snap.read_value(0x100, DType.I32) == 0
+        assert snap.read_value(0x100 + 4 * 10, DType.I32) == 10
+
+    def test_snapshot_is_isolated_from_live_memory(self):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 64)
+        mem.write_value(0x100, 999, DType.I32)
+        assert snap.read_value(0x100, DType.I32) == 0
+
+    def test_writes_stay_in_snapshot(self):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 64)
+        snap.write_value(0x104, -5, DType.I32)
+        assert snap.read_value(0x104, DType.I32) == -5
+        assert mem.read_value(0x104, DType.I32) == 1
+
+    def test_uncovered_read_raises(self):
+        snap = RegionSnapshot()
+        snap.capture(make_memory(), 0x100, 16)
+        with pytest.raises(MemoryError_):
+            snap.read_value(0x200, DType.I32)
+
+    def test_capture_clamps_to_memory_bounds(self):
+        mem = MainMemory(128)
+        snap = RegionSnapshot()
+        snap.capture(mem, 100, 1000)  # clipped at 128
+        assert snap.covers(120, 8)
+        assert not snap.covers(128, 1)
+
+    def test_negative_start_clamped(self):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, -16, 64)
+        assert snap.covers(0, 16)
+
+    def test_empty_capture_noop(self):
+        snap = RegionSnapshot()
+        snap.capture(make_memory(), 0x100, 0)
+        assert not snap.covers(0x100, 1)
+
+
+class TestBlockReads:
+    def test_read_block_matches_elementwise(self):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 256)
+        block = snap.read_block(0x100, 16, DType.I32)
+        np.testing.assert_array_equal(block, np.arange(16))
+
+    def test_read_block_out_of_region(self):
+        snap = RegionSnapshot()
+        snap.capture(make_memory(), 0x100, 16)
+        with pytest.raises(MemoryError_):
+            snap.read_block(0x100, 100, DType.I32)
+
+    @given(st.integers(0, 48), st.integers(1, 16))
+    @settings(max_examples=50)
+    def test_property_block_equals_scalar_reads(self, offset, count):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 256)
+        addr = 0x100 + 4 * offset
+        block = snap.read_block(addr, count, DType.I32)
+        for k in range(count):
+            assert block[k] == snap.read_value(addr + 4 * k, DType.I32)
+
+
+class TestMultipleRegions:
+    def test_disjoint_regions(self):
+        mem = make_memory()
+        mem.write_array(0x1000, np.full(8, 7, np.int16))
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 32)
+        snap.capture(mem, 0x1000, 16)
+        assert snap.read_value(0x100, DType.I32) == 0
+        assert snap.read_value(0x1000, DType.I16) == 7
+
+    def test_overlapping_regions_consistent(self):
+        mem = make_memory()
+        snap = RegionSnapshot()
+        snap.capture(mem, 0x100, 64)
+        snap.capture(mem, 0x120, 64)  # overlaps the first
+        # both copies hold the same pre-state, reads are well-defined
+        assert snap.read_value(0x120, DType.I32) == 8

@@ -1,0 +1,145 @@
+"""Unit + property tests for memory streams and the CIDP equations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import DType
+from repro.dsa import CIDVerdict, MemStream, predict_cid, safe_chunk
+
+
+def stream(pc, write, samples, dtype=DType.I32):
+    s = MemStream(pc=pc, is_write=write, dtype=dtype)
+    for it, addr in samples:
+        s.add_sample(it, addr)
+    return s
+
+
+class TestMemStream:
+    def test_gap_from_two_samples(self):
+        s = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        assert s.gap() == 4
+        assert s.contiguous()
+
+    def test_gap_normalized_over_iteration_distance(self):
+        # samples from iterations 2 and 5 (conditional path): gap is per-iter
+        s = stream(0x10, False, [(2, 0x100), (5, 0x10C)])
+        assert s.gap() == 4
+
+    def test_irregular_gap_is_none(self):
+        s = stream(0x10, False, [(2, 0x100), (3, 0x104), (4, 0x10C)])
+        assert s.gap() is None
+
+    def test_non_dividing_gap_is_none(self):
+        s = stream(0x10, False, [(2, 0x100), (4, 0x105)])
+        assert s.gap() is None
+
+    def test_zero_gap_invariant(self):
+        s = stream(0x10, False, [(2, 0x200), (3, 0x200)])
+        assert s.invariant() and s.gap() == 0
+
+    def test_addr_at_extrapolates(self):
+        s = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        # eq. 4.4: MRead[last] = MRead[2] + MGap * (last - 2)
+        assert s.addr_at(10) == 0x100 + 4 * 8
+
+    def test_same_iteration_twice_is_irregular(self):
+        s = stream(0x10, False, [(2, 0x100), (2, 0x104)])
+        assert s.gap() is None
+
+    def test_byte_stream_contiguous(self):
+        s = stream(0x10, False, [(2, 0x50), (3, 0x51)], dtype=DType.U8)
+        assert s.contiguous()
+
+
+class TestCIDP:
+    def test_paper_example_figure13(self):
+        """The dissertation's Fig. 13: MRead2=0x100, MGap=4, MWrite2=0x108,
+        10 iterations -> CID (0x108 inside [0x104, 0x120])."""
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        w = stream(0x20, True, [(2, 0x108), (3, 0x10C)])
+        verdict = predict_cid([r, w], last_iteration=10)
+        assert verdict.dependent
+        assert verdict.culprit == (0x20, 0x10)
+        assert verdict.distance == 2  # the write lands 2 iterations ahead
+
+    def test_disjoint_arrays_independent(self):
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        w = stream(0x20, True, [(2, 0x1000), (3, 0x1004)])
+        assert not predict_cid([r, w], 100).dependent
+
+    def test_same_index_rmw_is_independent(self):
+        # out[i] read and written at the same address each iteration
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        w = stream(0x20, True, [(2, 0x100), (3, 0x104)])
+        assert not predict_cid([r, w], 100).dependent
+
+    def test_write_behind_read_is_independent(self):
+        # out[i] = out[i+1]: the write trails the reads
+        r = stream(0x10, False, [(2, 0x104), (3, 0x108)])
+        w = stream(0x20, True, [(2, 0x100), (3, 0x104)])
+        assert not predict_cid([r, w], 100).dependent
+
+    def test_write_ahead_is_dependency_with_distance(self):
+        # out[i+8] written while out[i] read -> distance 8
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        w = stream(0x20, True, [(2, 0x120), (3, 0x124)])
+        verdict = predict_cid([r, w], 1000)
+        assert verdict.dependent and verdict.distance == 8
+
+    def test_dependency_beyond_range_ignored(self):
+        # the write would only collide far past the loop's last iteration
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        w = stream(0x20, True, [(2, 0x120), (3, 0x124)])
+        assert not predict_cid([r, w], last_iteration=5).dependent
+
+    def test_irregular_stream_is_dependent(self):
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104), (4, 0x110)])
+        w = stream(0x20, True, [(2, 0x200), (3, 0x204)])
+        verdict = predict_cid([r, w], 100)
+        assert verdict.dependent and verdict.distance == 0
+
+    def test_pinned_read_hit_by_walking_write(self):
+        r = stream(0x10, False, [(2, 0x110), (3, 0x110)])  # reads one address
+        w = stream(0x20, True, [(2, 0x100), (3, 0x104)])   # walks towards it
+        assert predict_cid([r, w], 100).dependent
+
+    def test_pinned_read_never_hit(self):
+        r = stream(0x10, False, [(2, 0x7), (3, 0x7)])
+        w = stream(0x20, True, [(2, 0x100), (3, 0x104)])
+        assert not predict_cid([r, w], 100).dependent
+
+    def test_no_writes_no_dependency(self):
+        r = stream(0x10, False, [(2, 0x100), (3, 0x104)])
+        assert not predict_cid([r], 100).dependent
+
+    @given(
+        st.integers(0, 64),      # write offset in elements
+        st.integers(4, 64),      # loop length
+    )
+    @settings(max_examples=60)
+    def test_property_dependency_iff_write_in_future_read_range(self, offset, last):
+        r = stream(0x10, False, [(2, 0x1000), (3, 0x1004)])
+        w_addr = 0x1000 + 4 * offset
+        w = stream(0x20, True, [(2, w_addr), (3, w_addr + 4)])
+        verdict = predict_cid([r, w], last)
+        # eq. 4.1/4.2: dependency iff the write address falls on a read of
+        # iterations 3..last
+        expected = 1 <= offset <= (last - 2)
+        assert verdict.dependent == expected
+
+
+class TestSafeChunk:
+    def test_independent_loop_needs_no_chunking(self):
+        assert safe_chunk(CIDVerdict(False), 4) is None
+
+    def test_distance_below_lanes_not_worth_it(self):
+        assert safe_chunk(CIDVerdict(True, distance=3), 4) is None
+        assert safe_chunk(CIDVerdict(True, distance=4), 4) is None
+
+    def test_chunk_rounded_to_whole_vectors(self):
+        assert safe_chunk(CIDVerdict(True, distance=11), 4) == 8
+        assert safe_chunk(CIDVerdict(True, distance=16), 4) == 16
+
+    def test_unknown_distance(self):
+        assert safe_chunk(CIDVerdict(True, distance=None), 4) is None

@@ -1,0 +1,105 @@
+"""Energy and area model tests."""
+
+import numpy as np
+import pytest
+
+from repro.isa import DType
+from repro.compiler import ArrayParam, Binary, BinOp, Const, For, Kernel, Load, Store, Var, lower
+from repro.compiler.ir import add, c, v
+from repro.dsa import DynamicSIMDAssembler, DSAConfig
+from repro.energy import AreaModel, EnergyModel, EnergyParams, EnergyReport
+from repro.systems.runner import execute_kernel
+
+
+def vecsum_kernel(n=200):
+    return Kernel(
+        "vecsum",
+        [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
+        [For("i", c(0), c(n), [Store("out", v("i"), add(Load("a", v("i")), Load("b", v("i"))))])],
+    )
+
+
+def args(n=200):
+    return {
+        "a": np.arange(n, dtype=np.int32),
+        "b": np.arange(n, dtype=np.int32),
+        "out": np.zeros(n, np.int32),
+    }
+
+
+class TestEnergyReport:
+    def test_total_is_sum_of_parts(self):
+        r = EnergyReport(core_dynamic=1, memory_dynamic=2, neon_dynamic=3, dsa_dynamic=4, leakage=5)
+        assert r.total == 15
+
+    def test_savings(self):
+        base = EnergyReport(core_dynamic=10)
+        better = EnergyReport(core_dynamic=6)
+        assert better.savings_over(base) == pytest.approx(0.4)
+        assert base.savings_over(EnergyReport()) == 0.0
+
+    def test_breakdown_keys(self):
+        d = EnergyReport().breakdown()
+        assert set(d) == {
+            "core_dynamic_mj",
+            "memory_dynamic_mj",
+            "neon_dynamic_mj",
+            "dsa_dynamic_mj",
+            "leakage_mj",
+            "total_mj",
+        }
+
+
+class TestEnergyModel:
+    def test_scalar_run_has_no_neon_or_dsa_energy(self):
+        run = execute_kernel(lower(vecsum_kernel()), args())
+        report = EnergyModel().report(run.core, run.result)
+        assert report.neon_dynamic == 0.0
+        assert report.dsa_dynamic == 0.0
+        assert report.core_dynamic > 0
+        assert report.memory_dynamic > 0
+        assert report.leakage > 0
+
+    def test_dsa_run_saves_energy(self):
+        """The paper's headline: runtime vectorization cuts total energy."""
+        plain = execute_kernel(lower(vecsum_kernel(2000)), args(2000))
+        base = EnergyModel().report(plain.core, plain.result)
+
+        dsa = DynamicSIMDAssembler(DSAConfig())
+        drun = execute_kernel(lower(vecsum_kernel(2000)), args(2000), attach=dsa.attach)
+        dreport = EnergyModel().report(drun.core, drun.result, dsa=dsa)
+        assert dreport.neon_dynamic > 0
+        assert dreport.dsa_dynamic > 0
+        assert dreport.savings_over(base) > 0
+
+    def test_more_instructions_more_energy(self):
+        small = execute_kernel(lower(vecsum_kernel(50)), args(50))
+        big = execute_kernel(lower(vecsum_kernel(500)), args(500))
+        m = EnergyModel()
+        assert m.report(big.core, big.result).total > m.report(small.core, small.result).total
+
+    def test_custom_params(self):
+        run = execute_kernel(lower(vecsum_kernel(50)), args(50))
+        hot = EnergyModel(EnergyParams(alu_pj=800.0))
+        cold = EnergyModel(EnergyParams(alu_pj=0.8))
+        assert hot.report(run.core, run.result).core_dynamic > cold.report(run.core, run.result).core_dynamic
+
+
+class TestAreaModel:
+    def test_paper_table3_overheads(self):
+        model = AreaModel()
+        assert model.logic_overhead_pct == pytest.approx(2.18, abs=0.01)
+        assert model.total_overhead_pct == pytest.approx(10.37, abs=0.01)
+
+    def test_rows_match_published_totals(self):
+        model = AreaModel()
+        logic = {r.component: r.total_um2 for r in model.logic_rows()}
+        assert logic["ARM Core"] == 610_173
+        assert logic["DSA"] == 13_274
+        full = {r.component: r.total_um2 for r in model.full_rows()}
+        assert full["ARM Core + Caches"] == 792_713
+        assert full["DSA + Caches"] == 82_236
+
+    def test_table_renders(self):
+        text = AreaModel().table()
+        assert "2.18%" in text and "10.37%" in text

@@ -1,0 +1,112 @@
+"""Experiment harness tests: every table/figure regenerates, and the
+paper's qualitative shape holds (who wins, where, and by what sign)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ResultCache, run_all
+from repro.experiments import (
+    art1_fig12,
+    art1_table3,
+    art2_fig16,
+    art3_fig7,
+    art3_fig8,
+    art3_fig9,
+    fig_neon_parallelism,
+    table4_setup,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ResultCache("test")
+
+
+class TestHarness:
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 11
+
+    def test_tables_render(self, cache):
+        exp = table4_setup.run()
+        text = exp.table()
+        assert "2 wide" in text and "1GHz" in text and "8 kb" in text
+
+    def test_area_table_matches_paper(self):
+        exp = art1_table3.run()
+        text = exp.table()
+        assert "2.18%" in text and "10.37%" in text
+
+    def test_neon_parallelism_matches_paper(self):
+        exp = fig_neon_parallelism.run()
+        rows = exp.row_dict()
+        assert rows["i8"][1] == 16
+        assert rows["f32"][1] == 4
+        assert rows["i64"][1] == 2
+
+
+class TestArticle1Shape:
+    def test_fig12_shape(self, cache):
+        exp = art1_fig12.run(cache=cache)
+        rows = exp.row_dict()
+        # high-DLP benchmarks improve under both systems
+        for name in ("matmul", "rgb_gray", "gaussian"):
+            assert rows[name][0] > 50 and rows[name][1] > 50
+        # low-DLP: the DSA never penalizes; autovec's guards cost a little
+        assert rows["qsort"][1] >= 0
+        assert rows["dijkstra"][1] >= -2
+        assert rows["dijkstra"][0] <= 0.5  # autovec gains nothing there
+
+
+class TestArticle2Shape:
+    def test_fig16_extended_dsa_unlocks_dynamic_loops(self, cache):
+        exp = art2_fig16.run(cache=cache)
+        rows = exp.row_dict()
+        # BitCounts: untouchable statically, large gain for the extended DSA
+        assert rows["bitcount"][0] <= 0.5
+        assert rows["bitcount"][1] <= 0.5
+        assert rows["bitcount"][2] > 50
+        # Susan: the conditional loop only helps the extended DSA
+        assert rows["susan_edges"][2] > rows["susan_edges"][1]
+        # extended dominates original everywhere
+        for name in ("bitcount", "dijkstra", "susan_edges", "qsort"):
+            assert rows[name][2] >= rows[name][1] - 2.5
+
+    def test_extended_beats_autovec_on_average(self, cache):
+        exp = art2_fig16.run(cache=cache)
+        avg = exp.row_dict()["AVERAGE"]
+        assert avg[2] > avg[0]  # the paper's +12% headline (sign)
+
+
+class TestArticle3Shape:
+    def test_fig8_dsa_covers_what_static_cannot(self, cache):
+        exp = art3_fig8.run(cache=cache)
+        rows = exp.row_dict()
+        assert rows["bitcount"][2] > 50 and rows["bitcount"][0] <= 0.5 and rows["bitcount"][1] <= 0.5
+
+    def test_fig9_energy_savings(self, cache):
+        exp = art3_fig9.run(cache=cache)
+        rows = exp.row_dict()
+        # the paper's 45% headline: high-DLP apps save big under the DSA
+        for name in ("matmul", "rgb_gray", "gaussian", "bitcount"):
+            assert rows[name][2] > 30, name
+        # low-DLP apps are not made substantially worse
+        assert rows["qsort"][2] > -5
+
+    def test_fig7_loop_census(self, cache):
+        exp = art3_fig7.run(cache=cache)
+        rows = exp.row_dict()
+        header = exp.columns[1:]
+        census = {name: dict(zip(header, vals)) for name, vals in rows.items()}
+        assert census["rgb_gray"]["count"] == 100.0
+        assert census["bitcount"]["sentinel"] > 0
+        assert census["bitcount"]["dynamic_range"] > 0
+        assert census["susan_edges"]["conditional"] > 0
+        assert census["dijkstra"]["conditional"] > 0
+        assert census["qsort"]["count"] == 0.0  # nothing statically countable
+
+
+@pytest.mark.slow
+def test_run_all_smoke():
+    results = run_all("test")
+    assert set(results) == set(ALL_EXPERIMENTS)
+    for exp in results.values():
+        assert exp.table()

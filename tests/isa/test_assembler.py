@@ -1,0 +1,270 @@
+"""Assembler tests: parsing, labels, errors, and disassembly round-trips."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import (
+    Alu,
+    AluKind,
+    Branch,
+    BranchReg,
+    Cmp,
+    CmpKind,
+    Cond,
+    DType,
+    FloatOp,
+    Halt,
+    Imm,
+    IndexMode,
+    Mem,
+    Mov,
+    Mul,
+    MulKind,
+    Nop,
+    QReg,
+    Reg,
+    ShiftedReg,
+    ShiftKind,
+    VBinOp,
+    VBsl,
+    VCmp,
+    VDup,
+    VLoad,
+    VLoadLane,
+    VMovFromCore,
+    VMovToCore,
+    VStore,
+    assemble,
+)
+from repro.isa.program import DEFAULT_TEXT_BASE, INSTRUCTION_BYTES
+
+
+def one(text: str):
+    prog = assemble(text)
+    assert len(prog) == 1
+    return prog.instructions[0]
+
+
+class TestScalarParsing:
+    def test_mov_imm(self):
+        instr = one("mov r0, #42")
+        assert instr == Mov(Reg(0), Imm(42))
+
+    def test_mov_negative_hex(self):
+        assert one("mov r0, #-4") == Mov(Reg(0), Imm(-4))
+        assert one("mov r0, #0x10") == Mov(Reg(0), Imm(16))
+
+    def test_mvn(self):
+        assert one("mvn r1, r2") == Mov(Reg(1), Reg(2), negate=True)
+
+    def test_add_reg(self):
+        assert one("add r3, r4, r5") == Alu(AluKind.ADD, Reg(3), Reg(4), Reg(5))
+
+    def test_adds_sets_flags(self):
+        instr = one("subs r0, r0, #1")
+        assert isinstance(instr, Alu) and instr.sets_flags
+
+    def test_shifted_operand(self):
+        instr = one("add r3, r4, r5, lsl #2")
+        assert instr == Alu(AluKind.ADD, Reg(3), Reg(4), ShiftedReg(Reg(5), ShiftKind.LSL, 2))
+
+    def test_mul_and_mla(self):
+        assert one("mul r0, r1, r2") == Mul(MulKind.MUL, Reg(0), Reg(1), Reg(2))
+        assert one("mla r0, r1, r2, r3") == Mul(MulKind.MLA, Reg(0), Reg(1), Reg(2), Reg(3))
+
+    def test_float_ops(self):
+        instr = one("fmul r0, r1, r2")
+        assert isinstance(instr, FloatOp)
+
+    def test_cmp(self):
+        assert one("cmp r0, #100") == Cmp(CmpKind.CMP, Reg(0), Imm(100))
+
+    def test_nop_halt(self):
+        assert one("nop") == Nop()
+        assert one("halt") == Halt()
+
+
+class TestMemoryParsing:
+    def test_ldr_offset(self):
+        instr = one("ldr r0, [r1, #8]")
+        assert isinstance(instr, Mem) and instr.is_load
+        assert instr.addr.offset == Imm(8)
+        assert instr.addr.mode is IndexMode.OFFSET
+
+    def test_ldr_post_index(self):
+        instr = one("ldr r0, [r1], #4")
+        assert instr.addr.mode is IndexMode.POST
+        assert instr.regs_written() == frozenset({Reg(0), Reg(1)})
+
+    def test_str_pre_index(self):
+        instr = one("str r0, [r1, #4]!")
+        assert instr.is_store and instr.addr.mode is IndexMode.PRE
+
+    def test_register_offset_with_shift(self):
+        instr = one("ldr r0, [r1, r2, lsl #2]")
+        assert instr.addr.offset == ShiftedReg(Reg(2), ShiftKind.LSL, 2)
+
+    def test_byte_and_half_variants(self):
+        assert one("ldrb r0, [r1]").dtype is DType.U8
+        assert one("ldrsb r0, [r1]").dtype is DType.I8
+        assert one("ldrh r0, [r1]").dtype is DType.U16
+        assert one("ldrsh r0, [r1]").dtype is DType.I16
+        assert one("strb r0, [r1]").dtype is DType.U8
+
+
+class TestBranches:
+    def test_labels_resolve(self):
+        prog = assemble(
+            """
+            loop:
+                add r0, r0, #1
+                cmp r0, #10
+                blt loop
+                halt
+            """
+        )
+        assert prog.labels["loop"] == DEFAULT_TEXT_BASE
+        branch = prog.instructions[2]
+        assert branch == Branch(DEFAULT_TEXT_BASE, cond=Cond.LT)
+
+    def test_forward_reference(self):
+        prog = assemble(
+            """
+                b end
+                nop
+            end:
+                halt
+            """
+        )
+        assert prog.instructions[0].target == DEFAULT_TEXT_BASE + 2 * INSTRUCTION_BYTES
+
+    def test_bl_and_bx(self):
+        prog = assemble(
+            """
+                bl func
+                halt
+            func:
+                bx lr
+            """
+        )
+        assert prog.instructions[0].link
+        assert isinstance(prog.instructions[2], BranchReg)
+
+    def test_bic_not_a_branch(self):
+        instr = one("bic r0, r1, r2")
+        assert isinstance(instr, Alu) and instr.kind is AluKind.BIC
+
+    def test_blo_is_conditional_branch(self):
+        prog = assemble("x:\n blo x")
+        assert prog.instructions[0].cond is Cond.LO
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("b nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nnop\na:\nnop")
+
+
+class TestVectorParsing:
+    def test_vld1_writeback(self):
+        instr = one("vld1.i32 q0, [r5]!")
+        assert instr == VLoad(QReg(0), Reg(5), DType.I32, writeback=True)
+
+    def test_vst1(self):
+        instr = one("vst1.f32 q2, [r7]")
+        assert instr == VStore(QReg(2), Reg(7), DType.F32, writeback=False)
+
+    def test_vadd(self):
+        instr = one("vadd.i16 q2, q0, q1")
+        assert isinstance(instr, VBinOp) and instr.dtype is DType.I16
+
+    def test_vdup(self):
+        assert one("vdup.i32 q3, r2") == VDup(QReg(3), Reg(2), DType.I32)
+
+    def test_vceq(self):
+        assert isinstance(one("vceq.i8 q0, q1, q2"), VCmp)
+
+    def test_vbsl(self):
+        assert one("vbsl q0, q1, q2") == VBsl(QReg(0), QReg(1), QReg(2))
+
+    def test_lane_load(self):
+        instr = one("vldlane.i32 q0[2], [r5]!")
+        assert instr == VLoadLane(QReg(0), 2, Reg(5), DType.I32, writeback=True)
+
+    def test_vmov_lane_directions(self):
+        assert isinstance(one("vmov.i32 r3, q0[1]"), VMovToCore)
+        assert isinstance(one("vmov.i32 q0[1], r3"), VMovFromCore)
+
+    def test_missing_dtype_suffix(self):
+        with pytest.raises(AssemblerError):
+            assemble("vadd q0, q1, q2")
+
+    def test_vector_flag_set(self):
+        assert one("vadd.i32 q0, q1, q2").is_vector
+        assert not one("add r0, r1, r2").is_vector
+
+
+class TestCommentsAndLayout:
+    def test_comments_stripped(self):
+        prog = assemble(
+            """
+            ; full line comment
+            mov r0, #1  @ trailing
+            add r0, r0, #2 // c++ style
+            """
+        )
+        assert len(prog) == 2
+
+    def test_label_on_same_line(self):
+        prog = assemble("start: mov r0, #1\nb start")
+        assert prog.labels["start"] == DEFAULT_TEXT_BASE
+        assert len(prog) == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("frobnicate r0, r1")
+        assert "frobnicate" in str(exc.value)
+
+
+class TestDisassemblyRoundTrip:
+    SOURCE = """
+    init:
+        mov r0, #0
+        mov r5, #0x100
+    loop:
+        ldr r3, [r5], #4
+        ldrb r4, [r6, #1]
+        add r3, r3, r4, lsl #2
+        mla r7, r3, r4, r7
+        str r3, [r8], #4
+        add r0, r0, #1
+        cmp r0, #64
+        blt loop
+        bl helper
+        halt
+    helper:
+        vld1.i32 q0, [r5]!
+        vdup.i32 q1, r2
+        vadd.i32 q2, q0, q1
+        vcgt.i32 q3, q2, q0
+        vbsl q3, q2, q0
+        vst1.i32 q3, [r8]!
+        vmov.i32 r3, q3[0]
+        bx lr
+    """
+
+    def test_roundtrip(self):
+        prog1 = assemble(self.SOURCE)
+        text = prog1.disassemble()
+        prog2 = assemble(text)
+        assert prog1.instructions == prog2.instructions
+        assert prog1.labels == prog2.labels
+
+    def test_instr_at_and_contains(self):
+        prog = assemble(self.SOURCE)
+        addr = prog.addr_of("loop")
+        assert prog.contains(addr)
+        assert isinstance(prog.instr_at(addr), Mem)
+        assert not prog.contains(prog.end)

@@ -1,0 +1,102 @@
+"""Unit tests for operand kinds."""
+
+import pytest
+
+from repro.isa.operands import (
+    Address,
+    Cond,
+    Imm,
+    IndexMode,
+    QReg,
+    Reg,
+    ShiftedReg,
+    ShiftKind,
+    LR,
+    PC,
+    SP,
+)
+
+
+class TestReg:
+    def test_parse_numeric(self):
+        assert Reg.parse("r7") == Reg(7)
+        assert Reg.parse(" R12 ") == Reg(12)
+
+    def test_parse_aliases(self):
+        assert Reg.parse("sp") == Reg(SP)
+        assert Reg.parse("lr") == Reg(LR)
+        assert Reg.parse("pc") == Reg(PC)
+
+    def test_names(self):
+        assert str(Reg(3)) == "r3"
+        assert str(Reg(SP)) == "sp"
+        assert str(Reg(LR)) == "lr"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Reg(16)
+        with pytest.raises(ValueError):
+            Reg.parse("r16")
+
+    def test_not_a_register(self):
+        with pytest.raises(ValueError):
+            Reg.parse("q3")
+
+
+class TestQReg:
+    def test_parse(self):
+        assert QReg.parse("q15") == QReg(15)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            QReg(16)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            QReg.parse("r3")
+
+
+class TestShiftedReg:
+    def test_str(self):
+        sr = ShiftedReg(Reg(4), ShiftKind.LSL, 2)
+        assert str(sr) == "r4, lsl #2"
+
+    def test_bad_amount(self):
+        with pytest.raises(ValueError):
+            ShiftedReg(Reg(4), ShiftKind.LSR, 32)
+
+
+class TestAddress:
+    def test_offset_str(self):
+        assert str(Address(Reg(1))) == "[r1]"
+        assert str(Address(Reg(1), Imm(4))) == "[r1, #4]"
+
+    def test_post_str(self):
+        assert str(Address(Reg(1), Imm(4), IndexMode.POST)) == "[r1], #4"
+
+    def test_pre_str(self):
+        assert str(Address(Reg(1), Imm(4), IndexMode.PRE)) == "[r1, #4]!"
+
+    def test_register_offset_str(self):
+        assert str(Address(Reg(1), Reg(2))) == "[r1, r2]"
+        sr = ShiftedReg(Reg(2), ShiftKind.LSL, 2)
+        assert str(Address(Reg(1), sr)) == "[r1, r2, lsl #2]"
+
+    def test_writeback_flag(self):
+        assert not Address(Reg(0)).writes_back
+        assert Address(Reg(0), Imm(4), IndexMode.POST).writes_back
+        assert Address(Reg(0), Imm(4), IndexMode.PRE).writes_back
+
+
+class TestCond:
+    def test_suffix(self):
+        assert Cond.AL.suffix == ""
+        assert Cond.LT.suffix == "lt"
+
+    @pytest.mark.parametrize("cond", [c for c in Cond if c is not Cond.AL])
+    def test_inverse_is_involution(self, cond):
+        assert cond.inverse().inverse() is cond
+
+    def test_al_has_no_inverse(self):
+        with pytest.raises(ValueError):
+            Cond.AL.inverse()

@@ -1,0 +1,153 @@
+"""Property test: disassembling any instruction and re-assembling it gives
+back the identical instruction object (the canonical-text round trip)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.isa.dtypes import DType
+from repro.isa.instructions import (
+    Alu,
+    AluKind,
+    BranchReg,
+    Cmp,
+    CmpKind,
+    FloatKind,
+    FloatOp,
+    Halt,
+    Mem,
+    Mov,
+    Mul,
+    MulKind,
+    Nop,
+)
+from repro.isa.neon import (
+    VBinKind,
+    VBinOp,
+    VBsl,
+    VCmp,
+    VCmpKind,
+    VDup,
+    VDupImm,
+    VLoad,
+    VLoadLane,
+    VMla,
+    VMovFromCore,
+    VMovQ,
+    VMovToCore,
+    VShiftImm,
+    VShiftKind,
+    VStore,
+    VStoreLane,
+    VUnary,
+    VUnaryKind,
+)
+from repro.isa.operands import Address, Imm, IndexMode, QReg, Reg, ShiftedReg, ShiftKind
+
+regs = st.builds(Reg, st.integers(0, 12))
+qregs = st.builds(QReg, st.integers(0, 15))
+imms = st.builds(Imm, st.integers(-4096, 4096))
+shifted = st.builds(ShiftedReg, regs, st.sampled_from(list(ShiftKind)), st.integers(0, 31))
+operand2 = st.one_of(imms, regs, shifted)
+
+addresses = st.one_of(
+    st.builds(Address, regs, imms, st.sampled_from([IndexMode.OFFSET, IndexMode.POST])),
+    st.builds(Address, regs, regs, st.just(IndexMode.OFFSET)),
+    st.builds(Address, regs, shifted, st.just(IndexMode.OFFSET)),
+    st.builds(
+        Address,
+        regs,
+        st.builds(Imm, st.integers(1, 4096)),
+        st.just(IndexMode.PRE),
+    ),
+)
+
+# loads distinguish sign (ldrb/ldrsb); stores do not (strb stores bytes),
+# so store dtypes are restricted to the canonical unsigned/word forms
+load_dtypes = st.sampled_from([DType.U8, DType.I8, DType.U16, DType.I16, DType.I32])
+store_dtypes = st.sampled_from([DType.U8, DType.U16, DType.I32])
+mem_instrs = st.one_of(
+    st.builds(Mem, st.just(False), regs, addresses, load_dtypes),
+    st.builds(Mem, st.just(True), regs, addresses, store_dtypes),
+)
+vec_dtypes = st.sampled_from([DType.I8, DType.U8, DType.I16, DType.U16, DType.I32, DType.U32, DType.F32])
+int_vec_dtypes = st.sampled_from([DType.I8, DType.U8, DType.I16, DType.U16, DType.I32, DType.U32])
+
+
+def lane_for(dtype_strategy):
+    return dtype_strategy.flatmap(
+        lambda dt: st.tuples(st.just(dt), st.integers(0, dt.lanes - 1))
+    )
+
+
+scalar_instrs = st.one_of(
+    st.builds(Alu, st.sampled_from(list(AluKind)), regs, regs, operand2, st.booleans()),
+    st.builds(Mov, regs, operand2, st.booleans()),
+    st.builds(Cmp, st.sampled_from(list(CmpKind)), regs, operand2),
+    st.builds(Mul, st.sampled_from([MulKind.MUL, MulKind.SDIV, MulKind.UDIV]), regs, regs, regs),
+    st.builds(lambda d, n, m, a: Mul(MulKind.MLA, d, n, m, a), regs, regs, regs, regs),
+    st.builds(FloatOp, st.sampled_from(list(FloatKind)), regs, regs, regs),
+    mem_instrs,
+    st.builds(BranchReg, regs),
+    st.just(Nop()),
+    st.just(Halt()),
+)
+
+vector_instrs = st.one_of(
+    st.builds(VLoad, qregs, regs, vec_dtypes, st.booleans()),
+    st.builds(VStore, qregs, regs, vec_dtypes, st.booleans()),
+    lane_for(vec_dtypes).flatmap(
+        lambda dl: st.builds(VLoadLane, qregs, st.just(dl[1]), regs, st.just(dl[0]), st.booleans())
+    ),
+    lane_for(vec_dtypes).flatmap(
+        lambda dl: st.builds(VStoreLane, qregs, st.just(dl[1]), regs, st.just(dl[0]), st.booleans())
+    ),
+    st.builds(VBinOp, st.sampled_from(list(VBinKind)), qregs, qregs, qregs, vec_dtypes),
+    st.builds(VMla, qregs, qregs, qregs, vec_dtypes),
+    int_vec_dtypes.flatmap(
+        lambda dt: st.builds(
+            VShiftImm,
+            st.sampled_from(list(VShiftKind)),
+            qregs,
+            qregs,
+            st.integers(0, dt.bits - 1),
+            st.just(dt),
+        )
+    ),
+    st.builds(VUnary, st.sampled_from(list(VUnaryKind)), qregs, qregs, vec_dtypes),
+    st.builds(VDup, qregs, regs, vec_dtypes),
+    st.builds(VDupImm, qregs, st.integers(-100, 100), vec_dtypes),
+    st.builds(VCmp, st.sampled_from(list(VCmpKind)), qregs, qregs, qregs, vec_dtypes),
+    st.builds(VBsl, qregs, qregs, qregs),
+    st.builds(VMovQ, qregs, qregs),
+    lane_for(vec_dtypes).flatmap(
+        lambda dl: st.builds(VMovToCore, regs, qregs, st.just(dl[1]), st.just(dl[0]))
+    ),
+    lane_for(vec_dtypes).flatmap(
+        lambda dl: st.builds(VMovFromCore, qregs, st.just(dl[1]), regs, st.just(dl[0]))
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(scalar_instrs)
+    @settings(max_examples=300)
+    def test_scalar_roundtrip(self, instr):
+        text = str(instr)
+        (reparsed,) = assemble(text).instructions
+        assert reparsed == instr, text
+
+    @given(vector_instrs)
+    @settings(max_examples=300)
+    def test_vector_roundtrip(self, instr):
+        text = str(instr)
+        (reparsed,) = assemble(text).instructions
+        assert reparsed == instr, text
+
+    @given(st.lists(st.one_of(scalar_instrs, vector_instrs), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_program_roundtrip(self, instrs):
+        from repro.isa.program import Program
+
+        prog = Program(list(instrs))
+        reparsed = assemble(prog.disassemble())
+        assert reparsed.instructions == prog.instructions

@@ -1,0 +1,110 @@
+"""Unit tests for the flat backing store and the bump allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.isa.dtypes import DType
+from repro.memory import Allocator, MainMemory
+
+
+class TestMainMemory:
+    def test_starts_zeroed(self):
+        mem = MainMemory(1024)
+        assert mem.read(0, 1024) == bytes(1024)
+
+    def test_read_write_roundtrip(self):
+        mem = MainMemory(1024)
+        mem.write(100, b"\x01\x02\x03")
+        assert mem.read(100, 3) == b"\x01\x02\x03"
+        assert mem.read(99, 1) == b"\x00"
+
+    def test_out_of_range(self):
+        mem = MainMemory(64)
+        with pytest.raises(MemoryError_):
+            mem.read(60, 8)
+        with pytest.raises(MemoryError_):
+            mem.write(-1, b"x")
+
+    def test_bad_size(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(0)
+
+    @pytest.mark.parametrize("dtype", [DType.U8, DType.I8, DType.I16, DType.I32, DType.F32])
+    def test_typed_roundtrip(self, dtype):
+        mem = MainMemory(256)
+        value = 3.5 if dtype.is_float else -5 if dtype.is_signed else 200
+        mem.write_value(32, value, dtype)
+        assert mem.read_value(32, dtype) == dtype.wrap(value)
+
+    def test_numpy_roundtrip(self):
+        mem = MainMemory(1024)
+        data = np.arange(10, dtype=np.int32)
+        mem.write_array(64, data)
+        out = mem.read_array(64, DType.I32, 10)
+        np.testing.assert_array_equal(out, data)
+
+    def test_little_endian_layout(self):
+        mem = MainMemory(64)
+        mem.write_value(0, 0x11223344, DType.I32)
+        assert mem.read(0, 4) == b"\x44\x33\x22\x11"
+
+    def test_snapshot_and_clone_are_independent(self):
+        mem = MainMemory(64)
+        mem.write(0, b"abc")
+        snap = mem.snapshot()
+        clone = mem.clone()
+        mem.write(0, b"xyz")
+        assert snap[:3] == b"abc"
+        assert clone.read(0, 3) == b"abc"
+
+    @given(st.integers(0, 200), st.binary(min_size=1, max_size=32))
+    def test_property_write_read(self, addr, blob):
+        mem = MainMemory(256)
+        if addr + len(blob) > 256:
+            with pytest.raises(MemoryError_):
+                mem.write(addr, blob)
+        else:
+            mem.write(addr, blob)
+            assert mem.read(addr, len(blob)) == blob
+
+
+class TestAllocator:
+    def test_alignment(self):
+        mem = MainMemory(1 << 20)
+        alloc = Allocator(mem, start=0x100, alignment=16)
+        a = alloc.alloc(5)
+        b = alloc.alloc(5)
+        assert a % 16 == 0 and b % 16 == 0
+        assert b >= a + 5
+
+    def test_alloc_array_contents(self):
+        mem = MainMemory(1 << 20)
+        alloc = Allocator(mem)
+        data = np.array([1, 2, 3, 4], dtype=np.int16)
+        addr = alloc.alloc_array(data)
+        np.testing.assert_array_equal(mem.read_array(addr, DType.I16, 4), data)
+
+    def test_alloc_zeros(self):
+        mem = MainMemory(1 << 20)
+        alloc = Allocator(mem)
+        addr = alloc.alloc_zeros(DType.I32, 8)
+        assert mem.read(addr, 32) == bytes(32)
+
+    def test_exhaustion(self):
+        mem = MainMemory(1024)
+        alloc = Allocator(mem, start=0)
+        with pytest.raises(MemoryError_):
+            alloc.alloc(2048)
+
+    def test_no_overlap_property(self):
+        mem = MainMemory(1 << 16)
+        alloc = Allocator(mem, start=0)
+        spans = []
+        for n in [3, 17, 64, 1, 100]:
+            base = alloc.alloc(n)
+            spans.append((base, base + n))
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2

@@ -1,0 +1,146 @@
+"""Unit and property tests for the LRU cache and the two-level hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memory import Cache, CacheConfig, HierarchyConfig, MemoryHierarchy
+
+
+def small_cache(assoc=2, sets=4, line=16):
+    return Cache(CacheConfig("test", line * assoc * sets, line_bytes=line, associativity=assoc))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig("L1", 64 * 1024, line_bytes=64, associativity=4)
+        assert cfg.num_sets == 256
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, line_bytes=64, associativity=4)
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 0)
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 96 * 2 * 4, line_bytes=96, associativity=4)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0x100, False)
+        assert c.access(0x100, False)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_hits(self):
+        c = small_cache(line=16)
+        c.access(0x100, False)
+        assert c.access(0x10F, False)  # same 16-byte line
+        assert not c.access(0x110, False)  # next line
+
+    def test_lru_eviction_order(self):
+        c = small_cache(assoc=2, sets=1, line=16)
+        c.access(0x00, False)   # A
+        c.access(0x10, False)   # B  (set full)
+        c.access(0x00, False)   # touch A -> B is now LRU
+        c.access(0x20, False)   # C evicts B
+        assert c.access(0x00, False)       # A still resident
+        assert not c.access(0x10, False)   # B was evicted
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = small_cache(assoc=1, sets=1, line=16)
+        c.access(0x00, True)    # dirty line
+        c.access(0x10, False)   # evicts dirty -> writeback
+        assert c.stats.writebacks == 1
+        c.access(0x20, False)   # evicts clean -> no writeback
+        assert c.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = small_cache(assoc=1, sets=1, line=16)
+        c.access(0x00, False)
+        c.access(0x00, True)   # write hit dirties the line
+        c.access(0x10, False)
+        assert c.stats.writebacks == 1
+
+    def test_flush(self):
+        c = small_cache()
+        c.access(0x0, False)
+        c.flush()
+        assert c.occupancy == 0
+        assert not c.access(0x0, False)
+
+    def test_lookup_does_not_disturb(self):
+        c = small_cache()
+        c.access(0x0, False)
+        before = c.stats.accesses
+        assert c.lookup(0x0)
+        assert not c.lookup(0x4000)
+        assert c.stats.accesses == before
+
+    @given(st.lists(st.integers(0, 0x3FF), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_bounded_by_capacity(self, addrs):
+        c = small_cache(assoc=2, sets=4, line=16)
+        for a in addrs:
+            c.access(a, False)
+        assert c.occupancy <= 8
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_immediate_revisit_always_hits(self, addrs):
+        c = small_cache(assoc=4, sets=8, line=32)
+        for a in addrs:
+            c.access(a, False)
+            assert c.access(a, False)
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = MemoryHierarchy()
+        first = h.access(0x1000)
+        second = h.access(0x1000)
+        assert first > second
+        assert second == h.config.l1.hit_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        cfg = HierarchyConfig(
+            l1=CacheConfig("L1", 2 * 16, line_bytes=16, associativity=1, hit_latency=2),
+            l2=CacheConfig("L2", 64 * 16, line_bytes=16, associativity=4, hit_latency=12),
+            dram_latency=80,
+        )
+        h = MemoryHierarchy(cfg)
+        h.access(0x000)
+        h.access(0x020)  # maps to the same L1 set (2 sets of 16B), evicts 0x000
+        lat = h.access(0x000)
+        assert lat == cfg.l1.hit_latency + cfg.l2.hit_latency
+
+    def test_dram_latency_on_cold_miss(self):
+        h = MemoryHierarchy()
+        lat = h.access(0x8000)
+        cfg = h.config
+        assert lat == cfg.l1.hit_latency + cfg.l2.hit_latency + cfg.dram_latency
+        assert h.dram_accesses == 1
+
+    def test_wide_access_spans_lines(self):
+        h = MemoryHierarchy()
+        # a 16-byte NEON access crossing a 64B line boundary touches 2 lines
+        lat_aligned = h.access(0x0, nbytes=16)
+        h2 = MemoryHierarchy()
+        lat_crossing = h2.access(0x38, nbytes=16)
+        assert h2.l1.stats.accesses == 2
+        assert lat_crossing > lat_aligned or h.l1.stats.accesses == 1
+
+    def test_stats_dict_and_reset(self):
+        h = MemoryHierarchy()
+        h.access(0x0)
+        d = h.stats_dict()
+        assert d["l1_accesses"] == 1
+        h.reset_stats()
+        assert h.stats_dict()["l1_accesses"] == 0
+
+    def test_default_matches_paper_table4(self):
+        h = MemoryHierarchy()
+        assert h.config.l1.size_bytes == 64 * 1024
+        assert h.config.l2.size_bytes == 512 * 1024

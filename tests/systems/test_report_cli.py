@@ -1,0 +1,99 @@
+"""Tests for the comparison reports and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.systems import run_all_systems, run_system
+from repro.systems.report import ComparisonReport, DSACoverageReport
+from repro.workloads import load
+from repro.workloads.synthetic import vecsum
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all_systems(vecsum(n=128))
+
+
+class TestComparisonReport:
+    def test_improvement_relative_to_baseline(self, results):
+        report = ComparisonReport("vecsum", results)
+        assert report.improvement("arm_original") == 0.0
+        assert report.improvement("neon_autovec") > 0
+
+    def test_table_contains_all_systems(self, results):
+        text = ComparisonReport("vecsum", results).table()
+        for name in results:
+            assert name in text
+
+    def test_missing_baseline_raises(self, results):
+        partial = {k: v for k, v in results.items() if k != "arm_original"}
+        with pytest.raises(KeyError):
+            ComparisonReport("vecsum", partial)
+
+    def test_dsa_coverage_report(self, results):
+        text = DSACoverageReport(results["neon_dsa"]).table()
+        assert "vectorized invocations" in text
+        assert "functional verifications" in text
+
+    def test_coverage_report_without_dsa(self, results):
+        text = DSACoverageReport(results["arm_original"]).table()
+        assert "no DSA" in text
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "rgb_gray", "--system", "neon_dsa"])
+        assert args.workload == "rgb_gray"
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "dijkstra" in out
+
+    def test_area_command(self, capsys):
+        assert main(["area"]) == 0
+        assert "2.18%" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "rgb_gray", "--system", "neon_dsa", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "neon_dsa" in out and "DSA coverage" in out
+
+    def test_asm_command(self, capsys):
+        assert main(["asm", "rgb_gray", "--system", "neon_autovec"]) == 0
+        out = capsys.readouterr().out
+        assert "vld1" in out  # the vectorized loop is in the listing
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "--only", "art1_table3", "--paper"]) == 0
+        out = capsys.readouterr().out
+        assert "10.37%" in out and "paper reference" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "--only", "nope"]) == 2
+
+
+class TestRunSystemContract:
+    def test_unknown_system_raises(self):
+        from repro.errors import ConfigError
+        from repro.systems.setups import lower_for
+
+        with pytest.raises(ConfigError):
+            lower_for("hyperthreaded_abacus", vecsum())
+
+    def test_golden_check_catches_corruption(self):
+        """A workload whose golden disagrees must fail loudly."""
+        import numpy as np
+
+        wl = vecsum(n=32)
+        wl.golden = lambda args: {"out": np.zeros(32, np.int32)}  # wrong on purpose
+        with pytest.raises(AssertionError):
+            run_system("arm_original", wl)
+
+    def test_dsa_stage_selection(self):
+        wl = load("bitcount", "test")
+        original = run_system("neon_dsa", wl, dsa_stage="original")
+        full = run_system("neon_dsa", wl, dsa_stage="full")
+        assert original.dsa_stats.iterations_covered == 0
+        assert full.dsa_stats.iterations_covered > 0

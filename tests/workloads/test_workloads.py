@@ -1,0 +1,127 @@
+"""Workload correctness: every benchmark must reproduce its numpy golden
+on every system (the DSA's transparency claim, checked end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import PAPER_WORKLOADS, load, load_all
+from repro.workloads.synthetic import LOOP_TYPE_MICROKERNELS
+from repro.systems import SYSTEM_NAMES, run_system
+
+ALL_NAMES = sorted(PAPER_WORKLOADS)
+
+
+class TestRegistry:
+    def test_seven_paper_benchmarks(self):
+        assert len(PAPER_WORKLOADS) == 7
+        assert set(PAPER_WORKLOADS) == {
+            "matmul",
+            "rgb_gray",
+            "gaussian",
+            "susan_edges",
+            "bitcount",
+            "dijkstra",
+            "qsort",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            load("matmul", "gigantic")
+
+    def test_load_all(self):
+        wls = load_all("test")
+        assert all(w.kernel is not None for w in wls.values())
+
+    def test_fresh_args_are_independent(self):
+        wl = load("rgb_gray")
+        a1, a2 = wl.fresh_args(), wl.fresh_args()
+        a1["r"][0] = 999
+        assert a2["r"][0] != 999
+
+    def test_dlp_levels_cover_paper_spectrum(self):
+        levels = {w.dlp_level for w in load_all("test").values()}
+        assert levels == {"high", "medium", "low"}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestGoldenOnEachSystem:
+    def test_arm_original(self, name):
+        run_system("arm_original", load(name))  # golden check is built in
+
+    def test_neon_autovec(self, name):
+        run_system("neon_autovec", load(name))
+
+    def test_neon_handvec(self, name):
+        run_system("neon_handvec", load(name))
+
+    def test_neon_dsa_full(self, name):
+        run_system("neon_dsa", load(name), dsa_stage="full")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_dsa_stages_all_correct(name):
+    """Original and extended DSA stages also reproduce the goldens."""
+    for stage in ("original", "extended"):
+        run_system("neon_dsa", load(name), dsa_stage=stage)
+
+
+class TestExpectedVectorizationProfile:
+    """The loop-type coverage story of the paper, per benchmark."""
+
+    def test_bitcount_needs_full_dsa(self):
+        wl = load("bitcount")
+        full = run_system("neon_dsa", wl, dsa_stage="full")
+        assert full.dsa_stats.vectorized_invocations["sentinel"] >= 1
+        assert full.dsa_stats.vectorized_invocations["dynamic_range"] >= 1
+        original = run_system("neon_dsa", wl, dsa_stage="original")
+        assert original.dsa_stats.iterations_covered == 0
+
+    def test_autovec_cannot_touch_bitcount(self):
+        wl = load("bitcount")
+        r = run_system("neon_autovec", wl)
+        assert r.lowered.vectorized_loops == []
+
+    def test_matmul_vectorized_by_everyone(self):
+        wl = load("matmul")
+        auto = run_system("neon_autovec", wl)
+        assert auto.lowered.vectorized_loops  # the inner j loop
+        dsa = run_system("neon_dsa", wl)
+        assert dsa.dsa_stats.vectorized_invocations["count"] >= 1
+
+    def test_susan_conditional_only_beyond_autovec(self):
+        wl = load("susan_edges")
+        auto = run_system("neon_autovec", wl)
+        assert len(auto.lowered.vectorized_loops) == 1  # smoothing only
+        hand = run_system("neon_handvec", wl)
+        assert len(hand.lowered.vectorized_loops) == 2  # + if-converted detect
+        dsa = run_system("neon_dsa", wl)
+        assert dsa.dsa_stats.vectorized_invocations["conditional"] >= 1
+
+    def test_qsort_has_no_dlp_for_anyone(self):
+        wl = load("qsort")
+        auto = run_system("neon_autovec", wl)
+        assert auto.lowered.vectorized_loops == []
+        assert auto.lowered.guarded_loops  # the versioned copy loop
+        dsa = run_system("neon_dsa", wl)
+        # only the input-copy loop is dynamic-range vectorizable
+        assert dsa.dsa_stats.vectorized_invocations.get("partial", 0) == 0
+        assert dsa.dsa_stats.vectorized_invocations.get("conditional", 0) == 0
+
+    def test_high_dlp_workloads_speed_up_everywhere(self):
+        for name in ("rgb_gray", "gaussian"):
+            wl = load(name)
+            base = run_system("arm_original", wl)
+            for system in ("neon_autovec", "neon_handvec", "neon_dsa"):
+                r = run_system(system, wl)
+                assert r.cycles < base.cycles, (name, system)
+
+
+@pytest.mark.parametrize("name", sorted(LOOP_TYPE_MICROKERNELS))
+def test_microkernels_golden_scalar_and_dsa(name):
+    wl = LOOP_TYPE_MICROKERNELS[name]()
+    run_system("arm_original", wl)
+    run_system("neon_dsa", wl)
