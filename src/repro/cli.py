@@ -2,32 +2,82 @@
 
 Commands
 --------
+``campaign``     run the (workload × system × DSA-stage) matrix, parallel + cached
 ``experiments``  regenerate every paper table/figure (or a chosen one)
 ``run``          run one workload on one or all systems
 ``workloads``    list the available benchmarks
 ``asm``          print the lowered assembly of a workload per system
 ``area``         print the DSA area table (Article 1, Table 3)
+
+Configuration mistakes (unknown workload, experiment, system, ...) print a
+one-line error naming the valid choices and exit with status 2 — never a
+raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .energy.area import AreaModel
+from .errors import ConfigError
 from .experiments import ALL_EXPERIMENTS, ResultCache
+from .systems.campaign import CampaignRunner, RunSpec, default_matrix
+from .systems.metrics import RunMetrics
 from .systems.report import ComparisonReport, DSACoverageReport
-from .systems.setups import SYSTEM_NAMES, lower_for, run_system
+from .systems.result_cache import ResultDiskCache
+from .systems.setups import DSA_STAGES, SYSTEM_NAMES, lower_for
 from .workloads import PAPER_WORKLOADS, load
 
 
+def _progress(done: int, total: int, metrics: RunMetrics) -> None:
+    spec = metrics.spec
+    stage = f"[{spec['dsa_stage']}]" if spec["system"] == "neon_dsa" else ""
+    print(
+        f"[{done:>3}/{total}] {spec['workload']}/{spec['system']}{stage} "
+        f"{metrics.source} ({metrics.wall_time_s:.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def _runner_from(args: argparse.Namespace, progress=None) -> CampaignRunner:
+    return CampaignRunner(
+        jobs=getattr(args, "jobs", 1),
+        use_cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+        progress=progress,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.clear_cache:
+        removed = ResultDiskCache(args.cache_dir).clear()
+        print(f"cleared {removed} cached result(s)", file=sys.stderr)
+    specs = default_matrix(
+        scale=args.scale,
+        workloads=args.workloads,
+        systems=args.systems,
+        dsa_stages=tuple(args.dsa_stages),
+        seed=args.seed,
+    )
+    runner = _runner_from(args, progress=None if args.json else _progress)
+    result = runner.run(specs)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.summary_table())
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.scale)
     names = args.only or list(ALL_EXPERIMENTS)
     for name in names:
         if name not in ALL_EXPERIMENTS:
             print(f"unknown experiment {name!r}; available: {sorted(ALL_EXPERIMENTS)}")
             return 2
+    cache = ResultCache(args.scale, runner=_runner_from(args))
+    for name in names:
         exp = ALL_EXPERIMENTS[name](scale=args.scale, cache=cache)
         print(exp.table())
         if args.paper and exp.paper_reference:
@@ -37,14 +87,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    workload = load(args.workload, args.scale)
+    if args.workload not in PAPER_WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {args.workload!r}; valid choices: {sorted(PAPER_WORKLOADS)}"
+        )
     systems = [args.system] if args.system else list(SYSTEM_NAMES)
-    results = {}
-    for system in systems:
-        results[system] = run_system(system, workload, dsa_stage=args.dsa_stage)
-    if "arm_original" not in results:
-        results["arm_original"] = run_system("arm_original", workload)
-    report = ComparisonReport(workload.name, results)
+    if "arm_original" not in systems:
+        systems.append("arm_original")
+    runner = _runner_from(args)
+    results = {
+        system: runner.run_one(
+            RunSpec(args.workload, system, dsa_stage=args.dsa_stage, scale=args.scale)
+        )
+        for system in systems
+    }
+    report = ComparisonReport(args.workload, results)
     print(report.table())
     dsa_result = results.get("neon_dsa")
     if dsa_result is not None and args.verbose:
@@ -62,6 +119,10 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
+    if args.workload not in PAPER_WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {args.workload!r}; valid choices: {sorted(PAPER_WORKLOADS)}"
+        )
     workload = load(args.workload, args.scale)
     lowered = lower_for(args.system, workload)
     print(f"; {args.workload} lowered for {args.system}")
@@ -78,6 +139,15 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for uncached runs (default: 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache entirely")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache location (default: $REPRO_CACHE_DIR or .repro-cache/results)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -85,18 +155,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p = sub.add_parser("campaign", help="run the workload × system matrix, parallel + cached")
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="workload ids (default: all seven; micro:<kind> also allowed)")
+    p.add_argument("--systems", nargs="*", default=None, choices=SYSTEM_NAMES,
+                   help="systems to run (default: all four)")
+    p.add_argument("--dsa-stages", nargs="*", default=["full"], choices=tuple(DSA_STAGES),
+                   help="DSA feature stages to run for neon_dsa (default: full)")
+    p.add_argument("--seed", type=int, default=None, help="input RNG seed override")
+    p.add_argument("--json", action="store_true", help="emit the metrics/results JSON record")
+    p.add_argument("--clear-cache", action="store_true", help="drop cached results first")
+    _add_cache_flags(p)
+    p.set_defaults(func=_cmd_campaign)
+
     p = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
     p.add_argument("--only", nargs="*", help="experiment ids (default: all)")
     p.add_argument("--paper", action="store_true", help="print paper reference values")
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("run", help="run one workload")
-    p.add_argument("workload", choices=sorted(PAPER_WORKLOADS))
+    p.add_argument("workload", help=f"one of {sorted(PAPER_WORKLOADS)}")
     p.add_argument("--system", choices=SYSTEM_NAMES)
     p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
-    p.add_argument("--dsa-stage", default="full", choices=("original", "extended", "full"))
+    p.add_argument("--dsa-stage", default="full", choices=tuple(DSA_STAGES))
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("workloads", help="list benchmarks")
@@ -104,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_workloads)
 
     p = sub.add_parser("asm", help="print lowered assembly")
-    p.add_argument("workload", choices=sorted(PAPER_WORKLOADS))
+    p.add_argument("workload", help=f"one of {sorted(PAPER_WORKLOADS)}")
     p.add_argument("--system", default="arm_original", choices=SYSTEM_NAMES)
     p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
     p.set_defaults(func=_cmd_asm)
@@ -117,7 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ConfigError, KeyError) as exc:
+        # configuration mistakes get a one-line error, not a traceback
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

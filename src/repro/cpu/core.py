@@ -65,7 +65,7 @@ TimingSuppressor = Callable[[TraceRecord], bool]
 class CoreResult:
     """Summary of one simulation run."""
 
-    cycles: float
+    cycles: int
     instructions: int
     seconds: float
     halted: bool

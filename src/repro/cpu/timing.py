@@ -72,19 +72,23 @@ class TimingModel:
     def __init__(self, config: CPUConfig):
         self.config = config
         self.stats = TimingStats()
-        self._reg_ready = [0.0] * 16
-        self._flags_ready = 0.0
-        self._q_ready = [0.0] * 16
-        self._now = 0.0          # next scalar issue opportunity
-        self._slot_cycle = -1.0  # cycle of the current issue group
+        # The whole scoreboard counts in integer cycles: accumulating floats
+        # drifts over 1e8-instruction runs and makes the exact-equality
+        # comparisons below hazardous.  Fractional latencies are rounded
+        # exactly once, where they enter (see ``add_stall``).
+        self._reg_ready = [0] * 16
+        self._flags_ready = 0
+        self._q_ready = [0] * 16
+        self._now = 0          # next scalar issue opportunity
+        self._slot_cycle = -1  # cycle of the current issue group
         self._slots_used = 0
-        self._neon_next_issue = 0.0
+        self._neon_next_issue = 0
         self._neon_burst_open = False
-        self._last_completion = 0.0
+        self._last_completion = 0
 
     # ------------------------------------------------------------------
     @property
-    def cycles(self) -> float:
+    def cycles(self) -> int:
         """Total cycles elapsed so far (scalar and vector drained)."""
         return max(self._now, self._last_completion, self._neon_next_issue)
 
@@ -119,7 +123,7 @@ class TimingModel:
             return 1
         raise ValueError(f"no scalar latency for {instr!r}")
 
-    def _issue_slot(self, earliest: float) -> float:
+    def _issue_slot(self, earliest: int) -> int:
         """Find the issue cycle respecting the superscalar width."""
         cycle = max(self._now, earliest)
         if cycle == self._slot_cycle and self._slots_used < self.config.issue_width:
@@ -143,7 +147,7 @@ class TimingModel:
         self.stats.scalar_instructions += 1
         earliest = max(
             (self._reg_ready[r.index] for r in instr.regs_read()),
-            default=0.0,
+            default=0,
         )
         if reads_flags:
             earliest = max(earliest, self._flags_ready)
@@ -168,7 +172,7 @@ class TimingModel:
             self.stats.branch_mispredicts += 1
             bubble = issue + 1 + self.config.mispredict_penalty
             self._now = max(self._now, bubble)
-            self._slot_cycle = -1.0
+            self._slot_cycle = -1
             self._slots_used = 0
 
     # ------------------------------------------------------------------
@@ -210,11 +214,11 @@ class TimingModel:
         """
         self.stats.vector_instructions += 1
         dispatch = self._issue_slot(
-            max((self._reg_ready[r.index] for r in instr.regs_read()), default=0.0)
+            max((self._reg_ready[r.index] for r in instr.regs_read()), default=0)
         )
         start = max(dispatch, self._neon_next_issue)
         operands_ready = max(
-            (self._q_ready[q.index] for q in instr.qregs_read()), default=0.0
+            (self._q_ready[q.index] for q in instr.qregs_read()), default=0
         )
         start = max(start, operands_ready)
         if not self._neon_burst_open:
@@ -246,17 +250,22 @@ class TimingModel:
         self.stats.suppressed_instructions += 1
 
     def add_stall(self, cycles: float, kind: str = "dsa") -> None:
-        """Charge a flat stall (pipeline flush, DSA overheads, ...)."""
+        """Charge a flat stall (pipeline flush, DSA overheads, ...).
+
+        This is the only place fractional latencies can enter the model, so
+        the rounding to whole cycles happens exactly once, here.
+        """
         if cycles < 0:
             raise ValueError("stall cycles must be non-negative")
-        self._now = self.cycles + cycles
-        self._slot_cycle = -1.0
+        whole = int(round(cycles))
+        self._now = self.cycles + whole
+        self._slot_cycle = -1
         self._slots_used = 0
         self._last_completion = max(self._last_completion, self._now)
         if kind == "dsa":
-            self.stats.dsa_stall_cycles += cycles
+            self.stats.dsa_stall_cycles += whole
 
-    def drain(self) -> float:
+    def drain(self) -> int:
         """Wait for everything in flight; returns the final cycle count."""
         self._now = self.cycles
         return self._now

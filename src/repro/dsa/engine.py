@@ -80,8 +80,8 @@ class DSAStats:
     iterations_covered: int = 0
     bursts_charged: int = 0
     vector_instructions: int = 0
-    stall_cycles: float = 0.0
-    detection_cycles: float = 0.0
+    stall_cycles: int = 0
+    detection_cycles: int = 0
     stage_activations: Counter = field(default_factory=Counter)
     leftover_used: Counter = field(default_factory=Counter)
     vector_mem_ops: int = 0
@@ -1090,12 +1090,12 @@ class DynamicSIMDAssembler:
         self.stats.bursts_charged += 1
         self.stats.vector_instructions += total
 
-    def _charge_stall(self, cycles: float) -> None:
+    def _charge_stall(self, cycles: int) -> None:
         if self.core is not None and cycles:
             self.core.timing.add_stall(cycles, kind="dsa")
             self.stats.stall_cycles += cycles
 
-    def _charge_detection(self, cycles: float) -> None:
+    def _charge_detection(self, cycles: int) -> None:
         """Analysis work that runs in parallel with the core (not charged)."""
         self.stats.detection_cycles += cycles
 

@@ -31,9 +31,15 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(scale: str = "test") -> dict[str, Experiment]:
-    """Regenerate every table and figure; shares one result cache."""
-    cache = ResultCache(scale)
+def run_all(scale: str = "test", cache: ResultCache | None = None) -> dict[str, Experiment]:
+    """Regenerate every table and figure; shares one result cache.
+
+    Pass a :class:`ResultCache` built on a configured
+    :class:`repro.systems.CampaignRunner` to parallelize the underlying
+    simulations and persist them across invocations.
+    """
+    cache = cache or ResultCache(scale)
+    cache.prefetch()
     return {exp_id: fn(scale=scale, cache=cache) for exp_id, fn in ALL_EXPERIMENTS.items()}
 
 

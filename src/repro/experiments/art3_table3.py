@@ -9,10 +9,7 @@ dynamic energy.
 
 from __future__ import annotations
 
-from ..energy.model import EnergyModel
-from ..systems.setups import run_system
-from ..workloads.synthetic import LOOP_TYPE_MICROKERNELS
-from .common import Experiment
+from .common import Experiment, ResultCache
 
 PAPER_REFERENCE = {
     "summary": "per-scenario DSA energy: conditional/sentinel scenarios cost "
@@ -23,11 +20,11 @@ PAPER_REFERENCE = {
 _ORDER = ["count", "function", "dynamic_range", "conditional", "sentinel", "partial", "non_vectorizable"]
 
 
-def run(scale: str = "test", cache=None) -> Experiment:
+def run(scale: str = "test", cache: ResultCache | None = None) -> Experiment:
+    cache = cache or ResultCache(scale)
     rows = []
     for kind in _ORDER:
-        workload = LOOP_TYPE_MICROKERNELS[kind]()
-        result = run_system("neon_dsa", workload, dsa_stage="full")
+        result = cache.run(f"micro:{kind}", "neon_dsa", dsa_stage="full")
         stats = result.dsa_stats
         assert stats is not None
         dsa_uj = result.energy.dsa_dynamic * 1000.0  # mJ -> uJ
@@ -35,7 +32,7 @@ def run(scale: str = "test", cache=None) -> Experiment:
         rows.append(
             [
                 kind,
-                workload.name,
+                result.workload,
                 round(dsa_uj, 4),
                 round(100.0 * dsa_uj / total_uj, 3) if total_uj else 0.0,
                 dict(stats.stage_activations),

@@ -2,17 +2,20 @@
 
 Every experiment returns an :class:`Experiment` holding labelled rows plus
 the paper's reference values, so EXPERIMENTS.md and the benchmark harness
-print paper-vs-measured side by side.  A :class:`ResultCache` memoizes
-(workload, system, stage, scale) runs because several experiments share the
-same underlying simulations.
+print paper-vs-measured side by side.  All simulations go through the
+campaign layer (:mod:`repro.systems.campaign`): a shared
+:class:`ResultCache` dispatches (workload, system, stage, scale) runs to a
+:class:`CampaignRunner`, which deduplicates them in memory, serves repeats
+from the content-addressed disk cache, and can fan cold runs out across
+processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..systems.setups import SystemResult, run_system
-from ..workloads import load
+from ..systems.campaign import CampaignResult, CampaignRunner, RunSpec, experiment_matrix
+from ..systems.metrics import RunResult
 
 
 @dataclass
@@ -51,24 +54,33 @@ def _fmt(value) -> str:
 
 
 class ResultCache:
-    """Memoizes system runs shared across experiments."""
+    """Dispatches the experiments' system runs through the campaign layer.
 
-    def __init__(self, scale: str = "test"):
+    By default the backing :class:`CampaignRunner` runs in-process with the
+    disk cache disabled — exactly the old in-memory memoization.  Pass a
+    configured runner (``jobs > 1`` and/or a cache directory) to parallelize
+    and persist; :meth:`prefetch` then warms every run the suite needs in
+    one fan-out.
+    """
+
+    def __init__(self, scale: str = "test", runner: CampaignRunner | None = None):
         self.scale = scale
-        self._runs: dict[tuple, SystemResult] = {}
+        self.runner = runner or CampaignRunner(jobs=1, use_cache=False)
 
-    def run(self, workload_name: str, system: str, dsa_stage: str = "full") -> SystemResult:
-        key = (workload_name, system, dsa_stage if system == "neon_dsa" else "-")
-        if key not in self._runs:
-            workload = load(workload_name, self.scale)
-            self._runs[key] = run_system(system, workload, dsa_stage=dsa_stage)
-        return self._runs[key]
+    def run(self, workload_name: str, system: str, dsa_stage: str = "full") -> RunResult:
+        return self.runner.run_one(
+            RunSpec(workload=workload_name, system=system, dsa_stage=dsa_stage, scale=self.scale)
+        )
 
     def improvement(self, workload_name: str, system: str, dsa_stage: str = "full") -> float:
         """Performance improvement (%) over the ARM original execution."""
         base = self.run(workload_name, "arm_original")
         result = self.run(workload_name, system, dsa_stage)
         return result.improvement_over(base) * 100.0
+
+    def prefetch(self) -> CampaignResult:
+        """Run (or load) everything the full experiment suite consumes."""
+        return self.runner.run(experiment_matrix(self.scale))
 
 
 #: the benchmark order the paper's figures use

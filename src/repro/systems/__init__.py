@@ -1,5 +1,15 @@
-"""System setups and the execution harness."""
+"""System setups, the execution harness, and the campaign layer."""
 
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    RunSpec,
+    default_matrix,
+    execute_spec,
+    experiment_matrix,
+)
+from .metrics import RunMetrics, RunResult
+from .result_cache import ResultDiskCache, code_fingerprint, default_cache_dir
 from .runner import KernelRun, execute_kernel
 from .setups import (
     DSA_STAGES,
@@ -11,8 +21,19 @@ from .setups import (
 )
 
 __all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "RunSpec",
+    "RunMetrics",
+    "RunResult",
+    "ResultDiskCache",
     "KernelRun",
     "execute_kernel",
+    "execute_spec",
+    "experiment_matrix",
+    "default_matrix",
+    "default_cache_dir",
+    "code_fingerprint",
     "DSA_STAGES",
     "SYSTEM_NAMES",
     "SystemResult",

@@ -1,0 +1,344 @@
+"""Campaign runner: the (workload × system × DSA-stage) matrix, fanned out
+across a process pool and backed by the content-addressed result cache.
+
+Every paper artefact re-simulates the same handful of (workload, system)
+pairs; this layer is where those runs are dispatched, deduplicated, cached
+and observed.  The contract that makes it work is :class:`RunResult`'s
+deterministic serialization: a run computed in a worker process, loaded
+from the disk cache, or computed inline must produce byte-identical
+records, so ``--jobs N`` can never change an experiment's numbers.
+
+Workload ids are either one of the seven paper benchmarks (``matmul``,
+``rgb_gray``, ...) or a loop-type microkernel addressed as
+``micro:<kind>`` (``micro:count``, ``micro:sentinel``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Sequence
+
+from ..cpu.config import DEFAULT_CPU_CONFIG, CPUConfig
+from ..energy.params import DEFAULT_ENERGY_PARAMS
+from ..errors import ConfigError
+from ..workloads import PAPER_WORKLOADS, load
+from ..workloads.base import Workload, check_scale
+from ..workloads.synthetic import LOOP_TYPE_MICROKERNELS
+from .metrics import RunMetrics, RunResult, summarize_run
+from .result_cache import ResultDiskCache, code_fingerprint, content_key
+from .setups import DSA_STAGES, SYSTEM_NAMES, lower_for, run_system
+
+#: prefix selecting a loop-type microkernel instead of a paper benchmark
+MICRO_PREFIX = "micro:"
+
+ProgressHook = Callable[[int, int, RunMetrics], None]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Identity of one simulation in the campaign matrix."""
+
+    workload: str
+    system: str
+    dsa_stage: str = "full"
+    scale: str = "test"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEM_NAMES:
+            raise ConfigError(f"unknown system {self.system!r}; pick one of {SYSTEM_NAMES}")
+        if self.system == "neon_dsa":
+            if self.dsa_stage not in DSA_STAGES:
+                raise ConfigError(
+                    f"unknown DSA stage {self.dsa_stage!r}; pick one of {sorted(DSA_STAGES)}"
+                )
+        else:
+            # the stage is meaningless without a DSA: normalize it away so
+            # (matmul, arm_original, full) and (matmul, arm_original,
+            # original) are one run, one cache entry
+            object.__setattr__(self, "dsa_stage", "-")
+        check_scale(self.scale)
+
+    @property
+    def label(self) -> str:
+        stage = f"[{self.dsa_stage}]" if self.system == "neon_dsa" else ""
+        return f"{self.workload}/{self.system}{stage}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSpec":
+        return cls(**d)
+
+
+def build_workload(spec: RunSpec) -> Workload:
+    """Materialize the workload a spec names (paper benchmark or micro)."""
+    if spec.workload.startswith(MICRO_PREFIX):
+        kind = spec.workload[len(MICRO_PREFIX):]
+        try:
+            builder = LOOP_TYPE_MICROKERNELS[kind]
+        except KeyError:
+            raise ConfigError(
+                f"unknown microkernel {kind!r}; available: {sorted(LOOP_TYPE_MICROKERNELS)}"
+            ) from None
+        return builder(seed=spec.seed)
+    if spec.workload not in PAPER_WORKLOADS:
+        raise ConfigError(
+            f"unknown workload {spec.workload!r}; available: {sorted(PAPER_WORKLOADS)} "
+            f"or micro:<{('|'.join(sorted(LOOP_TYPE_MICROKERNELS)))}>"
+        )
+    return load(spec.workload, spec.scale, seed=spec.seed)
+
+
+def execute_spec(spec: RunSpec, cpu_config: CPUConfig | None = None) -> RunResult:
+    """Run one spec to completion (golden-checked) and summarize it."""
+    workload = build_workload(spec)
+    stage = spec.dsa_stage if spec.system == "neon_dsa" else "full"
+    result = run_system(spec.system, workload, cpu_config=cpu_config, dsa_stage=stage)
+    return summarize_run(result, scale=spec.scale, seed=spec.seed, dsa_stage=spec.dsa_stage)
+
+
+def _pool_execute(payload: tuple[RunSpec, CPUConfig | None]) -> tuple[str, float]:
+    """Process-pool entry point: returns (canonical JSON, compute seconds)."""
+    spec, cpu_config = payload
+    start = time.perf_counter()
+    result = execute_spec(spec, cpu_config=cpu_config)
+    return json.dumps(result.to_dict(), sort_keys=True), time.perf_counter() - start
+
+
+def _canonical(result: RunResult) -> RunResult:
+    """Round-trip through JSON so inline runs construct the exact same
+    object a pooled or cache-served run would."""
+    return RunResult.from_dict(json.loads(json.dumps(result.to_dict(), sort_keys=True)))
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign invocation produced."""
+
+    metrics: list[RunMetrics]
+    results: dict[RunSpec, RunResult]
+    wall_time_s: float
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for m in self.metrics if m.cache_hit)
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for m in self.metrics if not m.cache_hit)
+
+    def result_for(self, spec: RunSpec) -> RunResult:
+        return self.results[spec]
+
+    def to_json(self) -> dict:
+        """The ``repro campaign --json`` schema (see EXPERIMENTS.md)."""
+        return {
+            "campaign": {
+                "total_runs": len(self.metrics),
+                "cache_hits": self.cache_hits,
+                "computed": self.computed,
+                "wall_time_s": round(self.wall_time_s, 6),
+                "jobs": self.jobs,
+                "cache_dir": self.cache_dir,
+                "code_fingerprint": code_fingerprint(),
+            },
+            "runs": [m.to_dict() for m in self.metrics],
+            "results": [self.results[RunSpec.from_dict(m.spec)].to_dict() for m in self.metrics],
+        }
+
+    def summary_table(self) -> str:
+        header = ["workload", "system", "stage", "cycles", "source", "wall_s"]
+        rows = [
+            [
+                m.spec["workload"],
+                m.spec["system"],
+                m.spec["dsa_stage"],
+                str(m.cycles),
+                m.source,
+                f"{m.wall_time_s:.3f}",
+            ]
+            for m in self.metrics
+        ]
+        widths = [max(len(header[i]), max((len(r[i]) for r in rows), default=0)) for i in range(len(header))]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines += ["  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows]
+        lines.append(
+            f"{len(self.metrics)} runs: {self.cache_hits} from cache, "
+            f"{self.computed} computed in {self.wall_time_s:.2f}s with {self.jobs} job(s)"
+        )
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Dispatches run specs: in-memory memo → disk cache → (pooled) compute."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        use_cache: bool = True,
+        cache_dir=None,
+        cpu_config: CPUConfig | None = None,
+        progress: ProgressHook | None = None,
+    ):
+        if jobs < 1:
+            raise ConfigError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cpu_config = cpu_config
+        self.progress = progress
+        self.disk = ResultDiskCache(cache_dir, enabled=use_cache)
+        self._memory: dict[RunSpec, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def cache_key(self, spec: RunSpec) -> str:
+        """Content address of a run: lowered kernel + inputs + configs + code."""
+        workload = build_workload(spec)
+        lowered = lower_for(spec.system, workload)
+        dsa_config = DSA_STAGES[spec.dsa_stage] if spec.system == "neon_dsa" else None
+        return content_key(
+            {
+                "code": code_fingerprint(),
+                "kernel_asm": lowered.asm,
+                "workload": spec.workload,
+                "scale": spec.scale,
+                "seed": workload.seed,
+                "system": spec.system,
+                "dsa_stage": spec.dsa_stage,
+                "cpu_config": asdict(self.cpu_config or DEFAULT_CPU_CONFIG),
+                "dsa_config": asdict(dsa_config) if dsa_config else None,
+                "energy_params": asdict(DEFAULT_ENERGY_PARAMS),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def run_one(self, spec: RunSpec) -> RunResult:
+        return self.run([spec]).result_for(spec)
+
+    def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
+        """Run the matrix; duplicate specs are computed once."""
+        start = time.perf_counter()
+        ordered = list(specs)
+        sources: dict[RunSpec, str] = {}
+        walls: dict[RunSpec, float] = {}
+        results: dict[RunSpec, RunResult] = {}
+        keys: dict[RunSpec, str] = {}
+        pending: list[RunSpec] = []
+        seen: set[RunSpec] = set()
+
+        for spec in ordered:
+            if spec in seen:
+                continue
+            seen.add(spec)
+            if spec in self._memory:
+                sources[spec] = "memory"
+                walls[spec] = 0.0
+                results[spec] = self._memory[spec]
+                continue
+            lookup_start = time.perf_counter()
+            key = self.cache_key(spec)
+            keys[spec] = key
+            cached = self._load_cached(key)
+            if cached is not None:
+                sources[spec] = "disk-cache"
+                walls[spec] = time.perf_counter() - lookup_start
+                results[spec] = cached
+            else:
+                pending.append(spec)
+
+        if pending:
+            self._compute(pending, results, walls)
+            for spec in pending:
+                sources[spec] = "computed"
+                self.disk.store(keys[spec], {"spec": spec.to_dict(), "result": results[spec].to_dict()})
+
+        self._memory.update(results)
+
+        unique = [s for s in dict.fromkeys(ordered)]
+        metrics: list[RunMetrics] = []
+        for done, spec in enumerate(unique, start=1):
+            m = RunMetrics.for_run(spec.to_dict(), results[spec], sources[spec], walls[spec])
+            metrics.append(m)
+            if self.progress is not None:
+                self.progress(done, len(unique), m)
+        return CampaignResult(
+            metrics=metrics,
+            results=results,
+            wall_time_s=time.perf_counter() - start,
+            jobs=self.jobs,
+            cache_dir=str(self.disk.root) if self.disk.enabled else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _load_cached(self, key: str) -> RunResult | None:
+        payload = self.disk.load(key)
+        if payload is None:
+            return None
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            # schema drift or a damaged record: recover by re-running
+            self.disk.path_for(key).unlink(missing_ok=True)
+            return None
+
+    def _compute(
+        self,
+        pending: list[RunSpec],
+        results: dict[RunSpec, RunResult],
+        walls: dict[RunSpec, float],
+    ) -> None:
+        if self.jobs == 1 or len(pending) == 1:
+            for spec in pending:
+                run_start = time.perf_counter()
+                results[spec] = _canonical(execute_spec(spec, cpu_config=self.cpu_config))
+                walls[spec] = time.perf_counter() - run_start
+            return
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_execute, (spec, self.cpu_config)): spec for spec in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = futures[future]
+                    encoded, wall = future.result()
+                    results[spec] = RunResult.from_dict(json.loads(encoded))
+                    walls[spec] = wall
+
+
+# ----------------------------------------------------------------------
+# matrix builders
+# ----------------------------------------------------------------------
+def default_matrix(
+    scale: str = "test",
+    workloads: Sequence[str] | None = None,
+    systems: Sequence[str] | None = None,
+    dsa_stages: Sequence[str] = ("full",),
+    seed: int | None = None,
+) -> list[RunSpec]:
+    """The campaign matrix: every workload on every system, the DSA once
+    per requested feature stage."""
+    specs: list[RunSpec] = []
+    for workload in workloads or list(PAPER_WORKLOADS):
+        for system in systems or SYSTEM_NAMES:
+            stages = dsa_stages if system == "neon_dsa" else ("full",)
+            for stage in stages:
+                specs.append(RunSpec(workload, system, stage, scale, seed))
+    return specs
+
+
+def experiment_matrix(scale: str = "test") -> list[RunSpec]:
+    """Every run the full experiment suite (art1..art3) consumes."""
+    specs = default_matrix(scale, dsa_stages=tuple(DSA_STAGES))
+    specs += [
+        RunSpec(f"{MICRO_PREFIX}{kind}", "neon_dsa", "full", scale)
+        for kind in LOOP_TYPE_MICROKERNELS
+    ]
+    return specs

@@ -1,0 +1,148 @@
+"""Serializable run records: what the campaign layer caches and reports.
+
+:class:`RunResult` is the deterministic, dataclass → dict round-trippable
+summary of one (workload, system) simulation — everything the experiment
+tables and figures consume, none of the live simulator state.  It is the
+unit that crosses the process boundary and lives in the on-disk result
+cache, so it must serialize identically no matter which process produced
+it.
+
+:class:`RunMetrics` wraps one campaign run with the observability fields
+that must *not* participate in result identity (cache hit/miss, wall
+time): two campaigns that produce byte-identical RunResults may still
+differ in how long they took and where the results came from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import asdict, dataclass, field, fields
+
+from ..dsa.engine import DSAStats
+from ..energy.model import EnergyReport
+from .setups import SystemResult
+
+#: DSAStats fields that are Counters (plain dicts on the wire)
+_COUNTER_FIELDS = ("verdicts", "vectorized_invocations", "stage_activations", "leftover_used")
+
+
+@dataclass
+class RunResult:
+    """Deterministically serializable summary of one simulation run."""
+
+    workload: str
+    system: str
+    dsa_stage: str              # "-" when the system has no DSA attached
+    scale: str
+    seed: int | None
+    cycles: int
+    instructions: int
+    seconds: float
+    icounts: dict[str, int] = field(default_factory=dict)
+    hierarchy_stats: dict[str, float] = field(default_factory=dict)
+    timing_stats: dict[str, int] = field(default_factory=dict)
+    energy: EnergyReport = field(default_factory=EnergyReport)
+    dsa_stats: DSAStats | None = None
+
+    # -- the quantities the experiments derive -------------------------
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def improvement_over(self, baseline: "RunResult") -> float:
+        """Performance improvement as the paper reports it:
+        ``baseline_time / this_time - 1`` (0.31 = 31% faster)."""
+        return baseline.cycles / self.cycles - 1.0
+
+    def energy_savings_over(self, baseline: "RunResult") -> float:
+        return self.energy.savings_over(baseline.energy)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["icounts"] = dict(self.icounts)
+        d["hierarchy_stats"] = dict(self.hierarchy_stats)
+        d["timing_stats"] = dict(self.timing_stats)
+        d["energy"] = asdict(self.energy)
+        if self.dsa_stats is not None:
+            # not dataclasses.asdict: it would rebuild each Counter from an
+            # items-iterable and count the (key, value) pairs themselves
+            stats = {f.name: getattr(self.dsa_stats, f.name) for f in fields(self.dsa_stats)}
+            for name in _COUNTER_FIELDS:
+                stats[name] = dict(stats[name])
+            d["dsa_stats"] = stats
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        d = dict(d)
+        d["energy"] = EnergyReport(**d["energy"])
+        if d.get("dsa_stats") is not None:
+            stats = dict(d["dsa_stats"])
+            for name in _COUNTER_FIELDS:
+                stats[name] = Counter(stats[name])
+            d["dsa_stats"] = DSAStats(**stats)
+        return cls(**d)
+
+
+def summarize_run(result: SystemResult, scale: str, seed: int | None, dsa_stage: str) -> RunResult:
+    """Collapse a live :class:`SystemResult` into its serializable record."""
+    core_result = result.run.result
+    timing = result.run.core.timing.stats
+    return RunResult(
+        workload=result.workload,
+        system=result.system,
+        dsa_stage=dsa_stage,
+        scale=scale,
+        seed=seed,
+        cycles=core_result.cycles,
+        instructions=core_result.instructions,
+        seconds=core_result.seconds,
+        icounts=dict(core_result.icounts),
+        hierarchy_stats=dict(core_result.hierarchy_stats),
+        timing_stats=asdict(timing),
+        energy=result.energy,
+        dsa_stats=result.dsa_stats,
+    )
+
+
+@dataclass
+class RunMetrics:
+    """One campaign run plus the observability that is not part of result
+    identity: where the result came from and what it cost to obtain."""
+
+    spec: dict                       # RunSpec.to_dict()
+    source: str                      # "computed" | "disk-cache" | "memory"
+    wall_time_s: float
+    cycles: int
+    instructions: int
+    stall_breakdown: dict[str, int]  # TimingStats counters
+    dsa_counters: dict | None        # DSA stage activations, if a DSA ran
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source != "computed"
+
+    @classmethod
+    def for_run(cls, spec_dict: dict, result: RunResult, source: str, wall_time_s: float) -> "RunMetrics":
+        return cls(
+            spec=spec_dict,
+            source=source,
+            wall_time_s=wall_time_s,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            stall_breakdown=dict(result.timing_stats),
+            dsa_counters=dict(result.dsa_stats.stage_activations) if result.dsa_stats else None,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "source": self.source,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stall_breakdown": self.stall_breakdown,
+            "dsa_counters": self.dsa_counters,
+        }

@@ -1,14 +1,18 @@
 """Comparison reports across systems and workloads.
 
-Turns a set of :class:`SystemResult` objects into the text tables the
-examples and the CLI print: cycles, improvement over the ARM original,
-energy savings, and the DSA's coverage summary.
+Turns a set of run records into the text tables the examples and the CLI
+print: cycles, improvement over the ARM original, energy savings, and the
+DSA's coverage summary.  Works on live :class:`SystemResult` objects and
+on the campaign layer's serializable :class:`~repro.systems.metrics.RunResult`
+records alike — both expose ``cycles``, ``improvement_over``,
+``energy_savings_over`` and ``dsa_stats``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .metrics import RunResult
 from .setups import SystemResult
 
 
@@ -17,7 +21,7 @@ class ComparisonReport:
     """Results of one workload on several systems."""
 
     workload: str
-    results: dict[str, SystemResult]
+    results: dict[str, SystemResult | RunResult]
     baseline: str = "arm_original"
 
     def __post_init__(self) -> None:
@@ -25,7 +29,7 @@ class ComparisonReport:
             raise KeyError(f"baseline system {self.baseline!r} missing from results")
 
     @property
-    def base(self) -> SystemResult:
+    def base(self) -> SystemResult | RunResult:
         return self.results[self.baseline]
 
     def improvement(self, system: str) -> float:
@@ -40,7 +44,7 @@ class ComparisonReport:
         for name, result in self.results.items():
             row = [
                 name,
-                round(result.cycles),
+                result.cycles,
                 round(self.improvement(name), 1),
                 round(self.energy_savings(name), 1),
             ]
@@ -69,7 +73,7 @@ class ComparisonReport:
 class DSACoverageReport:
     """Human-readable summary of one DSA run's internal behaviour."""
 
-    result: SystemResult
+    result: SystemResult | RunResult
 
     def lines(self) -> list[str]:
         stats = self.result.dsa_stats
@@ -83,8 +87,8 @@ class DSACoverageReport:
             f"iterations covered:      {stats.iterations_covered}",
             f"NEON instructions built: {stats.vector_instructions} in {stats.bursts_charged} bursts",
             f"leftover techniques:     {dict(stats.leftover_used)}",
-            f"hand-off stalls charged: {stats.stall_cycles:.0f} cycles",
-            f"parallel detection work: {stats.detection_cycles:.0f} cycles "
+            f"hand-off stalls charged: {stats.stall_cycles} cycles",
+            f"parallel detection work: {stats.detection_cycles} cycles "
             f"({100 * stats.detection_cycles / total_cycles if total_cycles else 0:.1f}% of runtime, hidden)",
             f"abandoned analyses:      {stats.analyses_aborted}",
             f"functional verifications: {stats.verifications} (all must pass or the run raises)",

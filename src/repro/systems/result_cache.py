@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache of campaign run results.
+
+A cache key is the SHA-256 of everything that determines a run's outcome:
+the lowered kernel (the exact assembly the core executes), the input spec
+(workload id, scale, seed), the CPU / DSA / energy configurations, and a
+fingerprint of the simulator's own source code.  Unchanged runs are served
+instantly; touching any input — including the simulator itself — misses
+cleanly instead of serving stale results.
+
+Corrupted or unreadable entries are treated as misses (and removed), never
+as errors: the campaign falls back to re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+#: bump when the serialized RunResult layout changes incompatibly
+CACHE_VERSION = 1
+
+#: environment override for the cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache/results`` under the
+    working directory (kept project-local on purpose, like .pytest_cache)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(".repro-cache") / "results"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Part of every cache key, so editing the simulator invalidates all
+    previously cached results without any manual cache management.
+    """
+    root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def content_key(parts: dict) -> str:
+    """Deterministic key from a dict of run-identity components."""
+    canonical = json.dumps(parts, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultDiskCache:
+    """Maps content keys to JSON payloads under one directory."""
+
+    def __init__(self, root: Path | str | None = None, enabled: bool = True):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The cached payload, or ``None`` on miss *or* corruption."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            # a half-written or damaged entry must behave like a miss
+            path.unlink(missing_ok=True)
+            return None
+        if not isinstance(payload, dict) or payload.get("cache_version") != CACHE_VERSION:
+            path.unlink(missing_ok=True)
+            return None
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"cache_version": CACHE_VERSION, **payload}
+        # write-then-rename so a crashed writer never leaves a torn entry
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -38,7 +38,7 @@ class KernelRun:
         return self.core.memory.read_array(self.array_addrs[name], dtype, n)
 
     @property
-    def cycles(self) -> float:
+    def cycles(self) -> int:
         return self.result.cycles
 
 
@@ -57,6 +57,25 @@ def execute_kernel(
     ``attach`` lets callers hook a DSA or trace sink onto the core before
     the run starts.
     """
+    # Validate the whole argument set up front, before anything is allocated
+    # or copied: a bad call must fail without mutating allocator/core state.
+    param_names = {p.name for p in lowered.kernel.params}
+    missing = sorted(param_names - set(args))
+    if missing:
+        raise ConfigError(f"missing arguments for parameters: {missing}")
+    extra = sorted(set(args) - param_names)
+    if extra:
+        raise ConfigError(f"unknown kernel arguments: {extra}")
+    for param in lowered.kernel.params:
+        value = args[param.name]
+        if isinstance(param, ArrayParam):
+            if not isinstance(value, np.ndarray):
+                raise ConfigError(f"parameter {param.name!r} expects a numpy array")
+        else:
+            assert isinstance(param, ScalarParam)
+            if isinstance(value, np.ndarray):
+                raise ConfigError(f"parameter {param.name!r} expects an int")
+
     memory = MainMemory(memory_bytes)
     alloc = Allocator(memory)
     core = Core(lowered.program, memory, config=config)
@@ -64,27 +83,16 @@ def execute_kernel(
     array_addrs: dict[str, int] = {}
     array_lengths: dict[str, int] = {}
     for param in lowered.kernel.params:
-        if param.name not in args:
-            raise ConfigError(f"missing argument for parameter {param.name!r}")
         value = args[param.name]
         reg = lowered.param_regs[param.name]
         if isinstance(param, ArrayParam):
-            if not isinstance(value, np.ndarray):
-                raise ConfigError(f"parameter {param.name!r} expects a numpy array")
             typed = np.ascontiguousarray(value, dtype=param.dtype.numpy)
             addr = alloc.alloc_array(typed)
             array_addrs[param.name] = addr
             array_lengths[param.name] = typed.size
             core.set_reg(reg, addr)
         else:
-            assert isinstance(param, ScalarParam)
-            if isinstance(value, np.ndarray):
-                raise ConfigError(f"parameter {param.name!r} expects an int")
             core.set_reg(reg, int(value))
-
-    extra = {k for k in args if k not in {p.name for p in lowered.kernel.params}}
-    if extra:
-        raise ConfigError(f"unknown kernel arguments: {sorted(extra)}")
 
     frame = alloc.alloc(max(lowered.frame_size, 4))
     core.set_reg(SP, frame)

@@ -54,7 +54,7 @@ class SystemResult:
     lowered: LoweredKernel | None = None
 
     @property
-    def cycles(self) -> float:
+    def cycles(self) -> int:
         return self.run.result.cycles
 
     @property

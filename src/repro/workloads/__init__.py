@@ -16,17 +16,21 @@ PAPER_WORKLOADS = {
 }
 
 
-def load(name: str, scale: str = "test") -> Workload:
-    """Build one of the paper's benchmarks at the given scale."""
+def load(name: str, scale: str = "test", seed: int | None = None) -> Workload:
+    """Build one of the paper's benchmarks at the given scale.
+
+    ``seed`` overrides the workload's baked-in input RNG seed (``None``
+    keeps the default, so golden outputs are unchanged).
+    """
     try:
         builder = PAPER_WORKLOADS[name]
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; available: {sorted(PAPER_WORKLOADS)}") from None
-    return builder(scale)
+    return builder(scale, seed=seed)
 
 
-def load_all(scale: str = "test") -> dict[str, Workload]:
-    return {name: build(scale) for name, build in PAPER_WORKLOADS.items()}
+def load_all(scale: str = "test", seed: int | None = None) -> dict[str, Workload]:
+    return {name: build(scale, seed=seed) for name, build in PAPER_WORKLOADS.items()}
 
 
 __all__ = [

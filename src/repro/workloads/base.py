@@ -33,6 +33,7 @@ class Workload:
     output_arrays: list[str]
     description: str = ""
     loop_note: str = ""                 # which paper loop types it exercises
+    seed: int | None = None             # RNG seed the generator actually used
 
     def fresh_args(self) -> dict:
         """A new, independent argument set (arrays are copied)."""
@@ -50,3 +51,9 @@ def check_scale(scale: str) -> str:
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; pick one of {SCALES}")
     return scale
+
+
+def resolve_seed(seed: int | None, default: int) -> int:
+    """Pick the generator seed: the caller's, or the workload's baked-in
+    default (which keeps the golden outputs of the paper runs unchanged)."""
+    return default if seed is None else int(seed)

@@ -36,7 +36,9 @@ from ..compiler.ir import (
     shr,
     sub,
 )
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
+
+_DEFAULT_SEED = 13
 
 _SIZES = {"test": 200, "bench": 2048, "full": 8192}
 
@@ -76,12 +78,14 @@ def build_kernel() -> Kernel:
     )
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     n = _SIZES[check_scale(scale)]
     kernel = build_kernel()
 
+    seed = resolve_seed(seed, _DEFAULT_SEED)
+
     def make_args() -> dict:
-        rng = np.random.default_rng(13)
+        rng = np.random.default_rng(seed)
         src = rng.integers(1, 1 << 30, n + 8).astype(np.int32)
         src[n] = 0  # the sentinel
         src[n + 1 :] = 0
@@ -110,4 +114,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["counts", "buf"],
         description=f"SWAR popcount over a zero-terminated buffer of {n} words",
         loop_note="sentinel scan loop + dynamic-range popcount loop",
+        seed=seed,
     )

@@ -33,7 +33,9 @@ from ..compiler.ir import (
     add,
     mul,
 )
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
+
+_DEFAULT_SEED = 77
 
 _SIZES = {"test": 14, "bench": 40, "full": 96}
 
@@ -112,12 +114,14 @@ def golden_dijkstra(w: np.ndarray, n: int) -> np.ndarray:
     return dist.astype(np.int32)
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     n = _SIZES[check_scale(scale)]
     kernel = build_kernel()
 
+    seed = resolve_seed(seed, _DEFAULT_SEED)
+
     def make_args() -> dict:
-        rng = np.random.default_rng(77)
+        rng = np.random.default_rng(seed)
         w = rng.integers(1, 100, (n, n)).astype(np.int32)
         np.fill_diagonal(w, 0)
         return {
@@ -139,4 +143,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["dist"],
         description=f"single-source shortest paths, {n}-node dense graph",
         loop_note="dynamic-range init loop, sequential min-scan, conditional relaxation loop",
+        seed=seed,
     )

@@ -12,7 +12,9 @@ import numpy as np
 
 from ..isa.dtypes import DType
 from ..compiler.ir import ArrayParam, Const, For, Kernel, Load, Store, Var, add, shl, shr, sub
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
+
+_DEFAULT_SEED = 33
 
 _SIZES = {"test": (12, 16), "bench": (32, 48), "full": (96, 128)}
 
@@ -47,13 +49,15 @@ def golden_gaussian(img: np.ndarray, h: int, w: int) -> np.ndarray:
     return out.astype(np.int16)
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     h, w = _SIZES[check_scale(scale)]
     n = h * w
     kernel = build_kernel(h, w)
 
+    seed = resolve_seed(seed, _DEFAULT_SEED)
+
     def make_args() -> dict:
-        rng = np.random.default_rng(33)
+        rng = np.random.default_rng(seed)
         return {
             "img": rng.integers(0, 256, n).astype(np.int16),
             "tmp": np.zeros(n, np.int16),
@@ -72,4 +76,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["out"],
         description=f"separable 3x3 Gaussian blur on a {h}x{w} image",
         loop_note="count loops with stencil streams",
+        seed=seed,
     )

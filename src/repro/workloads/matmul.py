@@ -12,9 +12,10 @@ import numpy as np
 
 from ..isa.dtypes import DType
 from ..compiler.ir import ArrayParam, Const, For, Kernel, Let, Load, Store, Var, add, mul
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
 
 _SIZES = {"test": 16, "bench": 32, "full": 64}
+_DEFAULT_SEED = 2024
 
 
 def build_kernel(n: int) -> Kernel:
@@ -42,12 +43,13 @@ def build_kernel(n: int) -> Kernel:
     )
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     n = _SIZES[check_scale(scale)]
     kernel = build_kernel(n)
+    seed = resolve_seed(seed, _DEFAULT_SEED)
 
     def make_args() -> dict:
-        rng = np.random.default_rng(2024)
+        rng = np.random.default_rng(seed)
         return {
             "A": rng.integers(-30, 30, n * n).astype(np.int32),
             "B": rng.integers(-30, 30, n * n).astype(np.int32),
@@ -69,4 +71,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["C"],
         description=f"{n}x{n} integer matrix multiply (ikj order)",
         loop_note="count loops (inner), nested outer loops",
+        seed=seed,
     )

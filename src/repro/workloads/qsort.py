@@ -30,7 +30,9 @@ from ..compiler.ir import (
     add,
     sub,
 )
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
+
+_DEFAULT_SEED = 55
 
 _SIZES = {"test": 96, "bench": 384, "full": 1024}
 
@@ -98,12 +100,14 @@ def build_kernel() -> Kernel:
     )
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     n = _SIZES[check_scale(scale)]
     kernel = build_kernel()
 
+    seed = resolve_seed(seed, _DEFAULT_SEED)
+
     def make_args() -> dict:
-        rng = np.random.default_rng(55)
+        rng = np.random.default_rng(seed)
         return {
             "src": rng.integers(-10_000, 10_000, n).astype(np.int32),
             "data": np.zeros(n, np.int32),
@@ -123,4 +127,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["data"],
         description=f"iterative quicksort of {n} integers",
         loop_note="sentinel-style work loop + dynamic-range conditional partition (non-vectorizable)",
+        seed=seed,
     )

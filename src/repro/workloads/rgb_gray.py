@@ -11,7 +11,9 @@ import numpy as np
 
 from ..isa.dtypes import DType
 from ..compiler.ir import ArrayParam, Const, For, Kernel, Load, Store, Var, add, mul, shr
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
+
+_DEFAULT_SEED = 7
 
 _SIZES = {"test": 256, "bench": 4096, "full": 16384}
 
@@ -36,12 +38,14 @@ def build_kernel(n: int) -> Kernel:
     )
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     n = _SIZES[check_scale(scale)]
     kernel = build_kernel(n)
 
+    seed = resolve_seed(seed, _DEFAULT_SEED)
+
     def make_args() -> dict:
-        rng = np.random.default_rng(7)
+        rng = np.random.default_rng(seed)
         return {
             "r": rng.integers(0, 256, n).astype(np.uint16),
             "g": rng.integers(0, 256, n).astype(np.uint16),
@@ -64,4 +68,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["gray"],
         description=f"RGB->luminance over {n} pixels (u16 channels)",
         loop_note="count loop, 8-lane u16",
+        seed=seed,
     )

@@ -33,7 +33,9 @@ from ..compiler.ir import (
     shr,
     sub,
 )
-from .base import Workload, check_scale
+from .base import Workload, check_scale, resolve_seed
+
+_DEFAULT_SEED = 101
 
 _SIZES = {"test": 256, "bench": 4096, "full": 16384}
 
@@ -74,13 +76,15 @@ def build_kernel(n: int) -> Kernel:
     )
 
 
-def build(scale: str = "test") -> Workload:
+def build(scale: str = "test", seed: int | None = None) -> Workload:
     n = _SIZES[check_scale(scale)]
     kernel = build_kernel(n)
     threshold = 6
 
+    seed = resolve_seed(seed, _DEFAULT_SEED)
+
     def make_args() -> dict:
-        rng = np.random.default_rng(101)
+        rng = np.random.default_rng(seed)
         base = rng.integers(0, 256, n).astype(np.int16)
         # inject edges so both branches of the conditional loop run early
         base[:: max(1, n // 64)] = rng.integers(0, 256, len(base[:: max(1, n // 64)]))
@@ -108,4 +112,5 @@ def build(scale: str = "test") -> Workload:
         output_arrays=["smoothed", "edges"],
         description=f"SUSAN-style edge thresholding over {n} pixels",
         loop_note="count loop + conditional (if/else) loop",
+        seed=seed,
     )

@@ -31,10 +31,10 @@ from ..compiler.ir import (
     mul,
     sub,
 )
-from .base import Workload
+from .base import Workload, resolve_seed
 
 
-def vecsum(n: int = 256) -> Workload:
+def vecsum(n: int = 256, seed: int | None = None) -> Workload:
     """Count loop: out[i] = a[i] + b[i]."""
     kernel = Kernel(
         "vecsum",
@@ -43,7 +43,7 @@ def vecsum(n: int = 256) -> Workload:
     )
 
     def make_args():
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng(resolve_seed(seed, 0))
         return {
             "a": rng.integers(-1000, 1000, n).astype(np.int32),
             "b": rng.integers(-1000, 1000, n).astype(np.int32),
@@ -62,7 +62,7 @@ def vecsum(n: int = 256) -> Workload:
     )
 
 
-def saxpy(n: int = 256) -> Workload:
+def saxpy(n: int = 256, seed: int | None = None) -> Workload:
     """Count loop over float32 lanes: y[i] = a*x[i] + y[i]."""
     kernel = Kernel(
         "saxpy",
@@ -77,7 +77,7 @@ def saxpy(n: int = 256) -> Workload:
     )
 
     def make_args():
-        rng = np.random.default_rng(1)
+        rng = np.random.default_rng(resolve_seed(seed, 1))
         return {
             "x": rng.random(n).astype(np.float32),
             "y": rng.random(n).astype(np.float32),
@@ -100,7 +100,7 @@ def saxpy(n: int = 256) -> Workload:
     )
 
 
-def threshold(n: int = 256) -> Workload:
+def threshold(n: int = 256, seed: int | None = None) -> Workload:
     """Conditional loop: out[i] = a[i] > t ? a[i] : -a[i]."""
     kernel = Kernel(
         "threshold",
@@ -120,7 +120,7 @@ def threshold(n: int = 256) -> Workload:
     )
 
     def make_args():
-        rng = np.random.default_rng(2)
+        rng = np.random.default_rng(resolve_seed(seed, 2))
         return {"a": rng.integers(-100, 100, n).astype(np.int32), "out": np.zeros(n, np.int32), "t": 0}
 
     def golden(args):
@@ -139,7 +139,7 @@ def threshold(n: int = 256) -> Workload:
     )
 
 
-def strcopy(n: int = 200, valid: int | None = None) -> Workload:
+def strcopy(n: int = 200, valid: int | None = None, seed: int | None = None) -> Workload:
     """Sentinel loop: copy until the zero terminator."""
     valid = valid if valid is not None else (3 * n) // 4
     kernel = Kernel(
@@ -178,7 +178,7 @@ def strcopy(n: int = 200, valid: int | None = None) -> Workload:
     )
 
 
-def repeated_strcopy(n: int = 256, valid: int | None = None, repeats: int = 6) -> Workload:
+def repeated_strcopy(n: int = 256, valid: int | None = None, repeats: int = 6, seed: int | None = None) -> Workload:
     """Sentinel loop executed repeatedly: the learned speculative range
     (paper Fig. 23) covers nearly the whole loop from the second run on."""
     valid = valid if valid is not None else (3 * n) // 4
@@ -222,7 +222,7 @@ def repeated_strcopy(n: int = 256, valid: int | None = None, repeats: int = 6) -
     )
 
 
-def scaled_fill(n: int = 256) -> Workload:
+def scaled_fill(n: int = 256, seed: int | None = None) -> Workload:
     """Dynamic range loop (type A): bound arrives in a register."""
     kernel = Kernel(
         "scaled_fill",
@@ -250,7 +250,7 @@ def scaled_fill(n: int = 256) -> Workload:
     )
 
 
-def offset_accumulate(n: int = 128, distance: int = 24) -> Workload:
+def offset_accumulate(n: int = 128, distance: int = 24, seed: int | None = None) -> Workload:
     """Partial-vectorization loop: out[i+d] = out[i] + a[i]."""
     kernel = Kernel(
         "offset_accumulate",
@@ -285,7 +285,7 @@ def offset_accumulate(n: int = 128, distance: int = 24) -> Workload:
     )
 
 
-def clamp_map(n: int = 128) -> Workload:
+def clamp_map(n: int = 128, seed: int | None = None) -> Workload:
     """Function loop: out[i] = f(a[i]) with a straight-line helper."""
     f = Function("affine", ["x"], [Return(add(mul(Var("x"), Const(3)), Const(11)))])
     kernel = Kernel(
@@ -313,7 +313,7 @@ def clamp_map(n: int = 128) -> Workload:
     )
 
 
-def dotprod(n: int = 128) -> Workload:
+def dotprod(n: int = 128, seed: int | None = None) -> Workload:
     """Reduction: intrinsically non-vectorizable on every system here."""
     kernel = Kernel(
         "dotprod",
@@ -326,7 +326,7 @@ def dotprod(n: int = 128) -> Workload:
     )
 
     def make_args():
-        rng = np.random.default_rng(3)
+        rng = np.random.default_rng(resolve_seed(seed, 3))
         return {
             "a": rng.integers(-100, 100, n).astype(np.int32),
             "b": rng.integers(-100, 100, n).astype(np.int32),

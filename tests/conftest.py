@@ -1,0 +1,9 @@
+import pytest
+
+from repro.systems.result_cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the on-disk result cache out of the repo and out of other tests."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "result-cache"))

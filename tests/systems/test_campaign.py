@@ -1,0 +1,193 @@
+"""Campaign layer: cache identity, parallel determinism, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.cpu.config import CPUConfig
+from repro.errors import ConfigError
+from repro.experiments.common import ResultCache
+from repro.systems.campaign import (
+    CampaignRunner,
+    RunSpec,
+    default_matrix,
+    execute_spec,
+    experiment_matrix,
+)
+from repro.systems.metrics import RunResult
+from repro.systems.result_cache import CACHE_DIR_ENV, ResultDiskCache, default_cache_dir
+
+FAST = RunSpec("rgb_gray", "arm_original")
+FAST_DSA = RunSpec("micro:count", "neon_dsa", "full")
+
+
+def dumps(result: RunResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestRunSpec:
+    def test_stage_normalized_away_without_dsa(self):
+        spec = RunSpec("matmul", "arm_original", dsa_stage="original")
+        assert spec.dsa_stage == "-"
+        assert spec == RunSpec("matmul", "arm_original", dsa_stage="full")
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigError, match="unknown system"):
+            RunSpec("matmul", "hyperthreaded_abacus")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigError, match="unknown DSA stage"):
+            RunSpec("matmul", "neon_dsa", dsa_stage="imaginary")
+
+    def test_dict_round_trip(self):
+        spec = RunSpec("bitcount", "neon_dsa", "extended", "bench", seed=42)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_workload_fails_at_execution(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            execute_spec(RunSpec("not_a_benchmark", "arm_original"))
+
+    def test_unknown_microkernel_rejected(self):
+        with pytest.raises(ConfigError, match="unknown microkernel"):
+            execute_spec(RunSpec("micro:bogus", "neon_dsa"))
+
+
+class TestRunResultSerialization:
+    def test_round_trip_identity(self):
+        result = execute_spec(FAST_DSA)
+        clone = RunResult.from_dict(json.loads(dumps(result)))
+        assert clone == result
+        assert dumps(clone) == dumps(result)
+
+    def test_dsa_counters_survive_round_trip(self):
+        result = execute_spec(FAST_DSA)
+        clone = RunResult.from_dict(json.loads(dumps(result)))
+        assert clone.dsa_stats is not None
+        assert dict(clone.dsa_stats.vectorized_invocations) == dict(
+            result.dsa_stats.vectorized_invocations
+        )
+        assert clone.dsa_stats.stage_activations["loop_detection"] >= 1
+
+
+class TestDiskCache:
+    def test_miss_then_hit(self, tmp_path):
+        first = CampaignRunner(cache_dir=tmp_path).run([FAST])
+        assert [m.source for m in first.metrics] == ["computed"]
+        second = CampaignRunner(cache_dir=tmp_path).run([FAST])
+        assert [m.source for m in second.metrics] == ["disk-cache"]
+        assert dumps(second.result_for(FAST)) == dumps(first.result_for(FAST))
+
+    def test_repeated_spec_served_from_memory(self, tmp_path):
+        runner = CampaignRunner(cache_dir=tmp_path)
+        runner.run([FAST])
+        again = runner.run([FAST])
+        assert [m.source for m in again.metrics] == ["memory"]
+
+    def test_cpu_config_change_misses(self, tmp_path):
+        CampaignRunner(cache_dir=tmp_path).run([FAST])
+        narrow = CampaignRunner(cache_dir=tmp_path, cpu_config=CPUConfig(issue_width=1))
+        result = narrow.run([FAST])
+        assert [m.source for m in result.metrics] == ["computed"]
+
+    def test_seed_change_misses(self, tmp_path):
+        CampaignRunner(cache_dir=tmp_path).run([FAST])
+        reseeded = CampaignRunner(cache_dir=tmp_path).run(
+            [RunSpec("rgb_gray", "arm_original", seed=99)]
+        )
+        assert [m.source for m in reseeded.metrics] == ["computed"]
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        runner = CampaignRunner(cache_dir=tmp_path, use_cache=False)
+        runner.run([FAST])
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_corrupted_entry_recovers_by_rerunning(self, tmp_path):
+        runner = CampaignRunner(cache_dir=tmp_path)
+        first = runner.run([FAST])
+        key = runner.cache_key(FAST)
+        path = runner.disk.path_for(key)
+        assert path.exists()
+        path.write_text("{ not json at all")
+        rerun = CampaignRunner(cache_dir=tmp_path).run([FAST])
+        assert [m.source for m in rerun.metrics] == ["computed"]
+        assert dumps(rerun.result_for(FAST)) == dumps(first.result_for(FAST))
+        # the damaged entry was replaced with a good one
+        hits = CampaignRunner(cache_dir=tmp_path).run([FAST])
+        assert [m.source for m in hits.metrics] == ["disk-cache"]
+
+    def test_wrong_schema_entry_recovers(self, tmp_path):
+        runner = CampaignRunner(cache_dir=tmp_path)
+        runner.run([FAST])
+        path = runner.disk.path_for(runner.cache_key(FAST))
+        path.write_text(json.dumps({"cache_version": 1, "result": {"nonsense": True}}))
+        rerun = CampaignRunner(cache_dir=tmp_path).run([FAST])
+        assert [m.source for m in rerun.metrics] == ["computed"]
+
+    def test_clear(self, tmp_path):
+        CampaignRunner(cache_dir=tmp_path).run([FAST])
+        assert ResultDiskCache(tmp_path).clear() == 1
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial_byte_identical(self, tmp_path):
+        specs = default_matrix(
+            "test", workloads=["rgb_gray", "matmul"], dsa_stages=("original", "full")
+        )
+        serial = CampaignRunner(jobs=1, cache_dir=tmp_path / "serial").run(specs)
+        parallel = CampaignRunner(jobs=2, cache_dir=tmp_path / "parallel").run(specs)
+        assert serial.computed == parallel.computed == len(specs)
+        for spec in specs:
+            assert dumps(serial.result_for(spec)) == dumps(parallel.result_for(spec))
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        result = CampaignRunner(cache_dir=tmp_path).run([FAST, FAST, FAST])
+        assert len(result.metrics) == 1
+        assert result.computed == 1
+
+
+class TestCampaignMetrics:
+    def test_metrics_record_shape(self, tmp_path):
+        result = CampaignRunner(cache_dir=tmp_path).run([FAST_DSA])
+        (m,) = result.metrics
+        d = m.to_dict()
+        assert d["spec"]["workload"] == "micro:count"
+        assert d["cache_hit"] is False and d["source"] == "computed"
+        assert d["cycles"] > 0 and d["instructions"] > 0
+        assert "memory_stall_cycles" in d["stall_breakdown"]
+        assert d["dsa_counters"]["loop_detection"] >= 1
+
+    def test_json_schema(self, tmp_path):
+        result = CampaignRunner(cache_dir=tmp_path).run([FAST])
+        payload = result.to_json()
+        json.dumps(payload)  # must be JSON-clean
+        assert payload["campaign"]["total_runs"] == 1
+        assert payload["runs"][0]["spec"]["system"] == "arm_original"
+        assert payload["results"][0]["cycles"] == result.result_for(FAST).cycles
+
+    def test_progress_hook_called(self, tmp_path):
+        calls = []
+        runner = CampaignRunner(
+            cache_dir=tmp_path, progress=lambda done, total, m: calls.append((done, total))
+        )
+        runner.run([FAST, FAST_DSA])
+        assert calls == [(1, 2), (2, 2)]
+
+
+class TestExperimentsIntegration:
+    def test_result_cache_goes_through_campaign(self, tmp_path):
+        cache = ResultCache("test", runner=CampaignRunner(cache_dir=tmp_path))
+        result = cache.run("rgb_gray", "neon_dsa", "full")
+        assert isinstance(result, RunResult)
+        assert cache.improvement("rgb_gray", "neon_dsa") > 0
+
+    def test_experiment_matrix_covers_micro_kernels(self):
+        specs = experiment_matrix("test")
+        workloads = {s.workload for s in specs}
+        assert "micro:count" in workloads and "matmul" in workloads
+        # the seven paper workloads on all four systems, DSA in all stages
+        assert len([s for s in specs if not s.workload.startswith("micro:")]) == 7 * 6

@@ -74,6 +74,58 @@ class TestCLI:
         assert main(["experiments", "--only", "nope"]) == 2
 
 
+class TestCLIErrorPaths:
+    """Configuration mistakes exit 2 with a one-line error, not a traceback."""
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "not_a_workload"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "valid choices" in err
+        assert "Traceback" not in err
+
+    def test_asm_unknown_workload(self, capsys):
+        assert main(["asm", "not_a_workload"]) == 2
+        err = capsys.readouterr().err
+        assert "not_a_workload" in err and "rgb_gray" in err
+
+    def test_campaign_unknown_workload(self, capsys):
+        assert main(["campaign", "--workloads", "not_a_workload"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestCampaignCommand:
+    def test_campaign_table(self, capsys):
+        code = main(["campaign", "--workloads", "rgb_gray", "--systems", "arm_original"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rgb_gray" in out and "arm_original" in out
+
+    def test_campaign_json_schema(self, capsys):
+        import json as _json
+
+        code = main(
+            ["campaign", "--workloads", "rgb_gray", "--systems", "arm_original", "--json"]
+        )
+        assert code == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert set(payload) == {"campaign", "runs", "results"}
+        (run,) = payload["runs"]
+        assert {"spec", "source", "cache_hit", "wall_time_s", "cycles",
+                "instructions", "stall_breakdown", "dsa_counters"} <= set(run)
+
+    def test_campaign_second_invocation_hits_cache(self, capsys):
+        argv = ["campaign", "--workloads", "rgb_gray", "--systems", "arm_original", "--json"]
+        import json as _json
+
+        main(argv)
+        first = _json.loads(capsys.readouterr().out)
+        main(argv)
+        second = _json.loads(capsys.readouterr().out)
+        assert first["runs"][0]["cache_hit"] is False
+        assert second["runs"][0]["cache_hit"] is True
+        assert second["results"] == first["results"]
+
+
 class TestRunSystemContract:
     def test_unknown_system_raises(self):
         from repro.errors import ConfigError

@@ -1,0 +1,82 @@
+"""Argument-binding validation in :func:`execute_kernel`.
+
+Bad calls must fail before anything is copied into simulated memory or any
+register is set — the validation runs ahead of the binding loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.lowering import lower
+from repro.errors import ConfigError
+from repro.systems.runner import execute_kernel
+from repro.workloads.synthetic import vecsum
+
+
+@pytest.fixture(scope="module")
+def lowered():
+    return lower(vecsum(n=16).kernel)
+
+
+def good_args(n=16):
+    return {
+        "a": np.arange(n, dtype=np.int32),
+        "b": np.arange(n, dtype=np.int32),
+        "out": np.zeros(n, np.int32),
+    }
+
+
+class TestArgumentValidation:
+    def test_valid_call_runs(self, lowered):
+        run = execute_kernel(lowered, good_args())
+        assert run.result.halted
+        np.testing.assert_array_equal(run.array("out"), np.arange(16) * 2)
+
+    def test_missing_argument_rejected(self, lowered):
+        args = good_args()
+        del args["b"]
+        with pytest.raises(ConfigError, match="missing arguments.*'b'"):
+            execute_kernel(lowered, args)
+
+    def test_unknown_argument_rejected(self, lowered):
+        args = good_args()
+        args["bogus"] = np.zeros(4, np.int32)
+        with pytest.raises(ConfigError, match="unknown kernel arguments.*'bogus'"):
+            execute_kernel(lowered, args)
+
+    def test_unknown_and_missing_reported_before_binding(self, lowered):
+        # both defects at once: the call dies on validation, not mid-binding
+        args = good_args()
+        del args["out"]
+        args["typo_out"] = np.zeros(16, np.int32)
+        with pytest.raises(ConfigError):
+            execute_kernel(lowered, args)
+
+    def test_scalar_passed_for_array_rejected(self, lowered):
+        args = good_args()
+        args["a"] = 7
+        with pytest.raises(ConfigError, match="expects a numpy array"):
+            execute_kernel(lowered, args)
+
+    def test_array_passed_for_scalar_rejected(self):
+        from repro.workloads import load
+
+        wl = load("dijkstra", "test")
+        lowered = lower(wl.kernel)
+        args = wl.fresh_args()
+        args["n"] = np.zeros(3, np.int32)
+        with pytest.raises(ConfigError, match="expects an int"):
+            execute_kernel(lowered, args)
+
+    def test_validation_precedes_state_mutation(self, lowered, monkeypatch):
+        """No allocator is even constructed when the argument set is bad."""
+        import repro.systems.runner as runner_mod
+
+        def boom(*a, **k):
+            raise AssertionError("Allocator constructed before validation")
+
+        monkeypatch.setattr(runner_mod, "Allocator", boom)
+        args = good_args()
+        args["bogus"] = 1
+        with pytest.raises(ConfigError):
+            execute_kernel(lowered, args)
