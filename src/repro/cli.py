@@ -11,7 +11,8 @@ Commands
 
 Configuration mistakes (unknown workload, experiment, system, ...) print a
 one-line error naming the valid choices and exit with status 2 — never a
-raw traceback.
+raw traceback.  A campaign that runs to completion but could not finish
+every spec reports each failure by label and exits with status 3.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ import sys
 from .energy.area import AreaModel
 from .errors import ConfigError
 from .experiments import ALL_EXPERIMENTS, ResultCache
+from .faults import FaultPlan
 from .systems.campaign import CampaignRunner, RunSpec, default_matrix
 from .systems.metrics import RunMetrics
 from .systems.report import ComparisonReport, DSACoverageReport
@@ -42,11 +44,18 @@ def _progress(done: int, total: int, metrics: RunMetrics) -> None:
 
 
 def _runner_from(args: argparse.Namespace, progress=None) -> CampaignRunner:
+    plan_path = getattr(args, "inject", None)
     return CampaignRunner(
         jobs=getattr(args, "jobs", 1),
         use_cache=not getattr(args, "no_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
         progress=progress,
+        guard=getattr(args, "guard", False),
+        fault_plan=FaultPlan.load(plan_path) if plan_path else None,
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 0),
+        backoff=getattr(args, "backoff", 0.5),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -67,7 +76,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
     else:
         print(result.summary_table())
-    return 0
+    for f in result.failures:
+        print(
+            f"failed: {f.label}: {f.kind}: {f.cause} (after {f.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+    # 3 = the campaign ran to completion but some specs failed; 2 stays
+    # reserved for configuration mistakes
+    return 3 if result.failures else 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -166,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None, help="input RNG seed override")
     p.add_argument("--json", action="store_true", help="emit the metrics/results JSON record")
     p.add_argument("--clear-cache", action="store_true", help="drop cached results first")
+    p.add_argument("--guard", action="store_true",
+                   help="guarded DSA execution: verify vector outcomes, fall back to scalar on mismatch")
+    p.add_argument("--inject", default=None, metavar="PLAN.json",
+                   help="fault plan to inject (see repro.faults; EXPERIMENTS.md has an example)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-run wall-clock budget; timed-out runs are killed and retried/reported")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="extra attempts per failed run (default: 0)")
+    p.add_argument("--backoff", type=float, default=0.5, metavar="SECONDS",
+                   help="base delay between retries, doubled each attempt (default: 0.5)")
+    p.add_argument("--resume", action="store_true",
+                   help="serve plan-targeted specs from the disk cache instead of re-faulting them")
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -181,6 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", choices=SYSTEM_NAMES)
     p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
     p.add_argument("--dsa-stage", default="full", choices=tuple(DSA_STAGES))
+    p.add_argument("--guard", action="store_true",
+                   help="guarded DSA execution: verify vector outcomes, fall back to scalar on mismatch")
     p.add_argument("-v", "--verbose", action="store_true")
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_run)

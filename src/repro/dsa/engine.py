@@ -88,6 +88,11 @@ class DSAStats:
     vector_arith_ops: int = 0
     verifications: int = 0
     unknown_path_aborts: int = 0
+    #: guarded mode: mis-speculations detected and rolled back to scalar
+    fallbacks: int = 0
+    fallback_causes: Counter = field(default_factory=Counter)
+    #: fault injection: corruptions an attached injector actually applied
+    injected_faults: int = 0
 
 
 @dataclass
@@ -163,10 +168,22 @@ class _LoopContext:
 
 
 class DynamicSIMDAssembler:
-    """Runtime DLP detector coupled to one core."""
+    """Runtime DLP detector coupled to one core.
 
-    def __init__(self, config: DSAConfig | None = None):
+    ``guard`` enables guarded execution: every committed vector region is
+    cross-checked against the scalar reference, and a mismatch — instead of
+    raising :class:`DSAVerificationError` — discards the vector outcome,
+    re-charges the covered iterations as scalar work (the software analogue
+    of the paper's speculation rollback) and bumps ``stats.fallbacks``.
+    ``injector`` attaches a :class:`repro.faults.FaultInjector` that
+    corrupts speculative state at the verification boundary, so tests can
+    prove the guard catches mis-speculation rather than absorbing it.
+    """
+
+    def __init__(self, config: DSAConfig | None = None, guard: bool = False, injector=None):
         self.config = config or FULL_DSA_CONFIG
+        self.guard = guard
+        self.injector = injector
         self.cache = DSACache(self.config)
         self.vcache = VerificationCache(self.config)
         self.array_maps = ArrayMaps(self.config.array_maps, self.config.spare_neon_regs)
@@ -175,6 +192,11 @@ class DynamicSIMDAssembler:
         self.contexts: dict[int, _LoopContext] = {}
         self._suppress_union: dict[int, frozenset] = {}
         self._suppress_set: frozenset = frozenset()
+
+    @property
+    def _verify_enabled(self) -> bool:
+        """Guarded mode always cross-checks, even with verification off."""
+        return self.config.verify_functional or self.guard
 
     # ------------------------------------------------------------------
     # coupling
@@ -857,7 +879,7 @@ class DynamicSIMDAssembler:
             ctx.suppress_limit = remaining - leftover
         else:
             ctx.suppress_limit = remaining
-        if self.config.verify_functional:
+        if self._verify_enabled:
             ctx.snapshot = self._capture_snapshot(template, ctx.first_covered, ctx.suppress_limit or remaining)
         self._rebuild_suppression()
 
@@ -881,7 +903,7 @@ class DynamicSIMDAssembler:
         )
         self.stats.stage_activations["store_id_execution"] += 1
         self.stats.vectorized_invocations[entry.kind.value] += 1
-        if self.config.verify_functional:
+        if self._verify_enabled:
             ctx.snapshot = RegionSnapshot()
             for template in entry.path_templates.values():
                 if template is not None:
@@ -1017,8 +1039,13 @@ class DynamicSIMDAssembler:
             self.stats.leftover_used[entry.leftover.value] += 1
 
         self.stats.iterations_covered += covered
-        if self.config.verify_functional and ctx.snapshot is not None:
-            self._verify_straight(ctx, template, covered, partial=entry.kind is LoopKind.PARTIAL, chunk=entry.chunk)
+        if self._verify_enabled and ctx.snapshot is not None:
+            try:
+                self._verify_straight(
+                    ctx, template, covered, partial=entry.kind is LoopKind.PARTIAL, chunk=entry.chunk
+                )
+            except DSAVerificationError as exc:
+                self._guard_fallback(ctx, exc)
 
     def _commit_conditional(self, ctx: _LoopContext) -> None:
         entry = ctx.entry
@@ -1044,8 +1071,30 @@ class DynamicSIMDAssembler:
             self._charge_template_burst(template, start, quads)
         self.stats.iterations_covered += ctx.covered
 
-        if self.config.verify_functional and ctx.snapshot is not None:
-            self._verify_conditional(ctx, entry)
+        if self._verify_enabled and ctx.snapshot is not None:
+            try:
+                self._verify_conditional(ctx, entry)
+            except DSAVerificationError as exc:
+                self._guard_fallback(ctx, exc)
+
+    # ------------------------------------------------------------------
+    def _guard_fallback(self, ctx: _LoopContext, exc: DSAVerificationError) -> None:
+        """Guarded rollback: the vector outcome disagreed with the scalar
+        reference (mis-speculation, possibly injected).
+
+        The vector results are discarded — architecturally free, since the
+        scalar core computed every iteration all along — and the covered
+        region is re-charged as scalar work on top of the already-charged
+        (and now wasted) NEON burst, plus a pipeline flush: rolling back
+        speculation is never free.  Unguarded runs keep the old contract
+        and raise.
+        """
+        if not self.guard:
+            raise exc
+        self.stats.fallbacks += 1
+        self.stats.fallback_causes[f"loop_0x{ctx.loop_id:x}"] += 1
+        lat = self.config.latencies
+        self._charge_stall(lat.pipeline_flush + ctx.covered * max(1, len(ctx.suppress_pcs)))
 
     # ------------------------------------------------------------------
     def _charge_template_burst(
@@ -1138,6 +1187,8 @@ class DynamicSIMDAssembler:
         by_path: dict[tuple, list[int]] = {}
         for iteration, sig in ctx.path_map:
             by_path.setdefault(sig, []).append(iteration)
+        if self.injector is not None:
+            by_path = self.injector.corrupt_paths(by_path, entry.path_templates)
         for sig, iters_list in by_path.items():
             template = entry.path_templates[sig]
             if template is None:
@@ -1154,8 +1205,10 @@ class DynamicSIMDAssembler:
             i0, a0 = stream.samples[0]
             for k, it in enumerate(iters):
                 addr = int(a0 + gap * (int(it) - i0))
-                actual = self.core.memory.read_value(addr, stream.dtype)
                 expected = values[k].item()
+                if self.injector is not None:
+                    addr, expected = self.injector.corrupt_check(pc, int(it), addr, expected, stream)
+                actual = self.core.memory.read_value(addr, stream.dtype)
                 if not _values_equal(actual, expected):
                     raise DSAVerificationError(
                         f"loop 0x{ctx.loop_id:x}: store pc=0x{pc:x} iteration {int(it)} "
@@ -1170,8 +1223,12 @@ class DynamicSIMDAssembler:
             i0, a0 = stream.samples[0]
             for it in iters:
                 addr = int(a0 + gap * (int(it) - i0))
-                actual = self.core.memory.read_value(addr, stream.dtype)
                 expected = ctx.snapshot.read_value(addr, stream.dtype)
+                if self.injector is not None:
+                    addr, expected = self.injector.corrupt_check(
+                        root.stream_pc, int(it), addr, expected, stream
+                    )
+                actual = self.core.memory.read_value(addr, stream.dtype)
                 if not _values_equal(actual, expected):
                     raise DSAVerificationError(
                         f"loop 0x{ctx.loop_id:x} (partial): addr=0x{addr:x}: "

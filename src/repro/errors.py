@@ -47,3 +47,11 @@ class VectorizationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid system or DSA configuration."""
+
+
+class RunTimeoutError(ReproError):
+    """A kernel run exceeded its wall-clock budget."""
+
+
+class InjectedFaultError(ReproError):
+    """A deliberately injected fault fired (fault-injection campaigns)."""

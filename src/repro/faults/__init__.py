@@ -1,0 +1,35 @@
+"""Fault injection for the DSA reproduction.
+
+``repro.faults`` provides the adversarial half of the robustness story:
+deterministic, seed-driven fault plans (:mod:`repro.faults.plan`) and the
+injector that applies them to a single run (:mod:`repro.faults.injector`).
+The campaign layer consumes plans directly (``repro campaign --inject``);
+the guarded execution mode of :mod:`repro.systems.setups` is the oracle
+that proves injected DSA faults are caught rather than silently absorbed.
+"""
+
+from .injector import FaultInjector, InjectionEvent, build_injector
+from .plan import (
+    ALL_FAULT_KINDS,
+    CACHE_CORRUPT_MODES,
+    CACHE_FAULT_KINDS,
+    DSA_FAULT_KINDS,
+    NEON_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "CACHE_CORRUPT_MODES",
+    "CACHE_FAULT_KINDS",
+    "DSA_FAULT_KINDS",
+    "NEON_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionEvent",
+    "build_injector",
+]

@@ -1,0 +1,189 @@
+"""Fault plans: declarative, seed-driven fault-injection campaigns.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` records, each naming a
+*kind* of fault and an fnmatch pattern over :attr:`RunSpec.label`
+(``workload/system[stage]``) selecting which runs it applies to.  Plans are
+plain JSON so the same plan file drives the CLI (``repro campaign --inject
+plan.json``), the test suite, and any external harness.
+
+Two fault families exist:
+
+* **DSA state faults** (``lane``, ``trip_count``, ``loop_cache``,
+  ``verdict``, ``neon_lane``) corrupt the microarchitectural state the DSA
+  (or the NEON register file) speculates with.  They alter the *vector*
+  outcome only — the scalar core's architectural results are never touched
+  — so a guarded run must detect every one of them and fall back to the
+  scalar reference.
+* **Campaign faults** (``worker_crash``, ``worker_exit``, ``worker_hang``,
+  ``cache_corrupt``) attack the execution harness itself: a worker that
+  raises, hard-exits, or hangs past the timeout, and damaged disk-cache
+  entries.  The campaign runner must survive all of them.
+
+Every fault is deterministic: the plan seed plus the fault's position in
+the list fully determine where and when it fires, so a faulted campaign is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from ..errors import ConfigError
+
+#: faults that corrupt DSA / NEON speculative state (alter vector outcomes)
+DSA_FAULT_KINDS = ("lane", "trip_count", "loop_cache", "verdict")
+
+#: fault corrupting architectural NEON lanes on statically vectorized runs
+NEON_FAULT_KINDS = ("neon_lane",)
+
+#: faults a worker process applies to itself
+WORKER_FAULT_KINDS = ("worker_crash", "worker_exit", "worker_hang")
+
+#: faults applied to the on-disk result cache before the campaign runs
+CACHE_FAULT_KINDS = ("cache_corrupt",)
+
+ALL_FAULT_KINDS = DSA_FAULT_KINDS + NEON_FAULT_KINDS + WORKER_FAULT_KINDS + CACHE_FAULT_KINDS
+
+#: how a ``cache_corrupt`` fault damages the entry
+CACHE_CORRUPT_MODES = ("garbage", "version", "truncate", "tmp")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what to corrupt, where, and how often."""
+
+    kind: str
+    match: str = "*"          # fnmatch pattern over RunSpec.label
+    times: int = 1            # worker faults fire on attempts 1..times (0 = every attempt)
+    seconds: float = 3600.0   # worker_hang: how long the worker sleeps
+    exit_code: int = 9        # worker_exit: os._exit status
+    mode: str = "garbage"     # cache_corrupt: damage mode
+    delta: int = 1            # lane / neon_lane: value perturbation
+    shift: int = 1            # trip_count: iteration skew; neon_lane: which vector op
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; pick one of {sorted(ALL_FAULT_KINDS)}"
+            )
+        if self.times < 0:
+            raise ConfigError("fault 'times' cannot be negative (0 = every attempt)")
+        if self.kind == "worker_hang" and self.seconds <= 0:
+            raise ConfigError("worker_hang 'seconds' must be positive")
+        if self.kind == "cache_corrupt" and self.mode not in CACHE_CORRUPT_MODES:
+            raise ConfigError(
+                f"unknown cache_corrupt mode {self.mode!r}; pick one of {CACHE_CORRUPT_MODES}"
+            )
+        if self.kind in ("lane", "neon_lane") and self.delta == 0:
+            raise ConfigError("lane fault 'delta' must be nonzero")
+        if self.kind == "trip_count" and self.shift == 0:
+            raise ConfigError("trip_count fault 'shift' must be nonzero")
+
+    def matches(self, label: str) -> bool:
+        return fnmatchcase(label, self.match)
+
+    def fires_on_attempt(self, attempt: int) -> bool:
+        """Worker faults fire on the first ``times`` attempts (0 = always)."""
+        return self.times == 0 or attempt <= self.times
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        extra = sorted(set(d) - known)
+        if extra:
+            raise ConfigError(f"unknown fault spec field(s): {extra}")
+        if "kind" not in d:
+            raise ConfigError("fault spec needs a 'kind'")
+        return cls(**d)
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of faults to inject into one campaign."""
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def for_label(self, label: str) -> list[FaultSpec]:
+        return [f for f in self.faults if f.matches(label)]
+
+    def dsa_faults_for(self, label: str) -> list[FaultSpec]:
+        return [f for f in self.for_label(label) if f.kind in DSA_FAULT_KINDS]
+
+    def neon_faults_for(self, label: str) -> list[FaultSpec]:
+        return [f for f in self.for_label(label) if f.kind in NEON_FAULT_KINDS]
+
+    def worker_fault_for(self, label: str, attempt: int) -> FaultSpec | None:
+        """The first worker-level fault that fires for this label/attempt."""
+        for f in self.for_label(label):
+            if f.kind in WORKER_FAULT_KINDS and f.fires_on_attempt(attempt):
+                return f
+        return None
+
+    def cache_faults_for(self, label: str) -> list[FaultSpec]:
+        return [f for f in self.for_label(label) if f.kind in CACHE_FAULT_KINDS]
+
+    def alters_result(self, label: str) -> bool:
+        """True when an injected fault can change the run's *recorded*
+        outcome (guard fallback counters, stall recharges) — such runs must
+        never share disk-cache entries with clean runs."""
+        return bool(self.dsa_faults_for(label) or self.neon_faults_for(label))
+
+    def stream_seed(self, spec: FaultSpec, label: str) -> int:
+        """Deterministic per-(fault, run) RNG seed."""
+        index = self.faults.index(spec)
+        digest = hashlib.sha256(f"{self.seed}|{index}|{label}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        if not isinstance(d, dict):
+            raise ConfigError("fault plan must be a JSON object")
+        extra = sorted(set(d) - {"seed", "faults"})
+        if extra:
+            raise ConfigError(f"unknown fault plan field(s): {extra}")
+        raw = d.get("faults", [])
+        if not isinstance(raw, list):
+            raise ConfigError("fault plan 'faults' must be a list")
+        faults = [FaultSpec.from_dict(item) for item in raw]
+        return cls(faults=faults, seed=int(d.get("seed", 0)))
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigError(f"cannot read fault plan {path}: {exc}") from None
+        return cls.loads(text)
+
+    def digest(self) -> str:
+        """Short content hash, part of faulted runs' cache identity."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]

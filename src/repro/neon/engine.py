@@ -68,6 +68,10 @@ class NeonEngine:
     def __init__(self) -> None:
         self.q = [lanes.zero_register() for _ in range(16)]
         self.stats = NeonStats()
+        #: fault-injection hook: called as hook(instr, q) after each
+        #: executed instruction, free to corrupt the register file — the
+        #: golden check downstream is what must catch the damage
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     def read_q(self, index: int) -> np.ndarray:
@@ -190,6 +194,8 @@ class NeonEngine:
             self.stats.lane_ops += 1
         else:
             raise ExecutionError(f"unknown vector instruction {instr!r}")
+        if self.fault_hook is not None:
+            self.fault_hook(instr, self.q)
         return events
 
     # ------------------------------------------------------------------

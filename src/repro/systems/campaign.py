@@ -1,5 +1,6 @@
 """Campaign runner: the (workload × system × DSA-stage) matrix, fanned out
-across a process pool and backed by the content-addressed result cache.
+across crash-isolated worker processes and backed by the content-addressed
+result cache.
 
 Every paper artefact re-simulates the same handful of (workload, system)
 pairs; this layer is where those runs are dispatched, deduplicated, cached
@@ -7,6 +8,14 @@ and observed.  The contract that makes it work is :class:`RunResult`'s
 deterministic serialization: a run computed in a worker process, loaded
 from the disk cache, or computed inline must produce byte-identical
 records, so ``--jobs N`` can never change an experiment's numbers.
+
+Robustness contract (see ``repro.faults``): a worker that raises, hard-
+exits, or hangs costs the campaign exactly that one run.  Each run gets a
+wall-clock deadline and bounded retries with exponential backoff; whatever
+still fails becomes a :class:`RunFailure` record reported at the end —
+the campaign always completes the rest of the matrix.  Results hit the
+disk cache as each run finishes (not when the batch does), so an
+interrupted campaign resumes from what it already computed.
 
 Workload ids are either one of the seven paper benchmarks (``matmul``,
 ``rgb_gray``, ...) or a loop-type microkernel addressed as
@@ -16,18 +25,20 @@ Workload ids are either one of the seven paper benchmarks (``matmul``,
 from __future__ import annotations
 
 import json
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 from ..cpu.config import DEFAULT_CPU_CONFIG, CPUConfig
 from ..energy.params import DEFAULT_ENERGY_PARAMS
-from ..errors import ConfigError
+from ..errors import ConfigError, InjectedFaultError, ReproError, RunTimeoutError
+from ..faults import WORKER_FAULT_KINDS, FaultPlan, build_injector
 from ..workloads import PAPER_WORKLOADS, load
 from ..workloads.base import Workload, check_scale
 from ..workloads.synthetic import LOOP_TYPE_MICROKERNELS
-from .metrics import RunMetrics, RunResult, summarize_run
+from .isolation import IsolatedExecutor, IsolatedOutcome
+from .metrics import RunFailure, RunMetrics, RunResult, summarize_run
 from .result_cache import ResultDiskCache, code_fingerprint, content_key
 from .setups import DSA_STAGES, SYSTEM_NAMES, lower_for, run_system
 
@@ -94,19 +105,57 @@ def build_workload(spec: RunSpec) -> Workload:
     return load(spec.workload, spec.scale, seed=spec.seed)
 
 
-def execute_spec(spec: RunSpec, cpu_config: CPUConfig | None = None) -> RunResult:
-    """Run one spec to completion (golden-checked) and summarize it."""
+def execute_spec(
+    spec: RunSpec,
+    cpu_config: CPUConfig | None = None,
+    guard: bool = False,
+    plan: FaultPlan | None = None,
+    max_seconds: float | None = None,
+) -> RunResult:
+    """Run one spec to completion (golden-checked) and summarize it.
+
+    ``guard`` enables the DSA's guarded execution (mis-speculation falls
+    back to scalar instead of raising); ``plan`` attaches the fault
+    injector for any DSA/NEON faults targeting this spec's label;
+    ``max_seconds`` bounds the simulation's wall clock cooperatively.
+    """
     workload = build_workload(spec)
     stage = spec.dsa_stage if spec.system == "neon_dsa" else "full"
-    result = run_system(spec.system, workload, cpu_config=cpu_config, dsa_stage=stage)
+    injector = build_injector(plan, spec.label)
+    result = run_system(
+        spec.system,
+        workload,
+        cpu_config=cpu_config,
+        dsa_stage=stage,
+        guard=guard,
+        injector=injector,
+        max_seconds=max_seconds,
+    )
     return summarize_run(result, scale=spec.scale, seed=spec.seed, dsa_stage=spec.dsa_stage)
 
 
-def _pool_execute(payload: tuple[RunSpec, CPUConfig | None]) -> tuple[str, float]:
-    """Process-pool entry point: returns (canonical JSON, compute seconds)."""
-    spec, cpu_config = payload
+def _worker_run(task: tuple, attempt: int) -> tuple[str, float]:
+    """Isolated-worker entry point: returns (canonical JSON, compute secs).
+
+    Worker-level faults from the plan are applied *here*, inside the
+    sacrificial process, before any simulation work starts — a crash,
+    hard exit or hang therefore exercises exactly the failure path a
+    genuinely broken worker would take.
+    """
+    spec, cpu_config, guard, plan, max_seconds = task
+    if plan is not None:
+        fault = plan.worker_fault_for(spec.label, attempt)
+        if fault is not None:
+            if fault.kind == "worker_crash":
+                raise InjectedFaultError(f"injected worker crash (attempt {attempt})")
+            if fault.kind == "worker_exit":
+                os._exit(fault.exit_code)
+            if fault.kind == "worker_hang":
+                time.sleep(fault.seconds)
     start = time.perf_counter()
-    result = execute_spec(spec, cpu_config=cpu_config)
+    result = execute_spec(
+        spec, cpu_config=cpu_config, guard=guard, plan=plan, max_seconds=max_seconds
+    )
     return json.dumps(result.to_dict(), sort_keys=True), time.perf_counter() - start
 
 
@@ -125,6 +174,11 @@ class CampaignResult:
     wall_time_s: float
     jobs: int = 1
     cache_dir: str | None = None
+    failures: list[RunFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     @property
     def cache_hits(self) -> int:
@@ -133,6 +187,11 @@ class CampaignResult:
     @property
     def computed(self) -> int:
         return sum(1 for m in self.metrics if not m.cache_hit)
+
+    @property
+    def fallbacks(self) -> int:
+        """Total guarded-execution scalar rollbacks across the campaign."""
+        return sum(m.fallbacks for m in self.metrics)
 
     def result_for(self, spec: RunSpec) -> RunResult:
         return self.results[spec]
@@ -144,6 +203,8 @@ class CampaignResult:
                 "total_runs": len(self.metrics),
                 "cache_hits": self.cache_hits,
                 "computed": self.computed,
+                "failed": len(self.failures),
+                "fallbacks": self.fallbacks,
                 "wall_time_s": round(self.wall_time_s, 6),
                 "jobs": self.jobs,
                 "cache_dir": self.cache_dir,
@@ -151,10 +212,11 @@ class CampaignResult:
             },
             "runs": [m.to_dict() for m in self.metrics],
             "results": [self.results[RunSpec.from_dict(m.spec)].to_dict() for m in self.metrics],
+            "failures": [f.to_dict() for f in self.failures],
         }
 
     def summary_table(self) -> str:
-        header = ["workload", "system", "stage", "cycles", "source", "wall_s"]
+        header = ["workload", "system", "stage", "cycles", "source", "fallbacks", "wall_s"]
         rows = [
             [
                 m.spec["workload"],
@@ -162,6 +224,7 @@ class CampaignResult:
                 m.spec["dsa_stage"],
                 str(m.cycles),
                 m.source,
+                str(m.fallbacks),
                 f"{m.wall_time_s:.3f}",
             ]
             for m in self.metrics
@@ -169,15 +232,35 @@ class CampaignResult:
         widths = [max(len(header[i]), max((len(r[i]) for r in rows), default=0)) for i in range(len(header))]
         lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
         lines += ["  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows]
-        lines.append(
+        tail = (
             f"{len(self.metrics)} runs: {self.cache_hits} from cache, "
             f"{self.computed} computed in {self.wall_time_s:.2f}s with {self.jobs} job(s)"
         )
+        if self.fallbacks:
+            tail += f"; {self.fallbacks} guarded fallback(s)"
+        if self.failures:
+            tail += f"; {len(self.failures)} FAILED"
+        lines.append(tail)
+        for f in self.failures:
+            lines.append(f"FAILED {f.label}: {f.kind}: {f.cause} (after {f.attempts} attempt(s))")
         return "\n".join(lines)
 
 
 class CampaignRunner:
-    """Dispatches run specs: in-memory memo → disk cache → (pooled) compute."""
+    """Dispatches run specs: in-memory memo → disk cache → isolated compute.
+
+    Robustness knobs (all default off):
+
+    * ``guard``      — run the DSA in guarded mode (mis-speculation rolls
+      back to scalar and is counted instead of raising);
+    * ``fault_plan`` — inject the plan's faults (see ``repro.faults``);
+    * ``timeout``    — per-run wall-clock budget in seconds;
+    * ``retries``    — extra attempts per failed run (exponential
+      ``backoff`` between attempts);
+    * ``resume``     — reuse disk-cached results for specs a fault plan
+      targets; without it a faulted campaign recomputes those specs so
+      the faults actually fire instead of being served from cache.
+    """
 
     def __init__(
         self,
@@ -186,12 +269,28 @@ class CampaignRunner:
         cache_dir=None,
         cpu_config: CPUConfig | None = None,
         progress: ProgressHook | None = None,
+        guard: bool = False,
+        fault_plan: FaultPlan | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.5,
+        resume: bool = False,
     ):
         if jobs < 1:
             raise ConfigError("jobs must be at least 1")
+        if retries < 0:
+            raise ConfigError("retries cannot be negative")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError("timeout must be positive")
         self.jobs = jobs
         self.cpu_config = cpu_config
         self.progress = progress
+        self.guard = guard
+        self.fault_plan = fault_plan
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.resume = resume
         self.disk = ResultDiskCache(cache_dir, enabled=use_cache)
         self._memory: dict[RunSpec, RunResult] = {}
 
@@ -201,67 +300,98 @@ class CampaignRunner:
         workload = build_workload(spec)
         lowered = lower_for(spec.system, workload)
         dsa_config = DSA_STAGES[spec.dsa_stage] if spec.system == "neon_dsa" else None
-        return content_key(
-            {
-                "code": code_fingerprint(),
-                "kernel_asm": lowered.asm,
-                "workload": spec.workload,
-                "scale": spec.scale,
-                "seed": workload.seed,
-                "system": spec.system,
-                "dsa_stage": spec.dsa_stage,
-                "cpu_config": asdict(self.cpu_config or DEFAULT_CPU_CONFIG),
-                "dsa_config": asdict(dsa_config) if dsa_config else None,
-                "energy_params": asdict(DEFAULT_ENERGY_PARAMS),
-            }
-        )
+        parts = {
+            "code": code_fingerprint(),
+            "kernel_asm": lowered.asm,
+            "workload": spec.workload,
+            "scale": spec.scale,
+            "seed": workload.seed,
+            "system": spec.system,
+            "dsa_stage": spec.dsa_stage,
+            "cpu_config": asdict(self.cpu_config or DEFAULT_CPU_CONFIG),
+            "dsa_config": asdict(dsa_config) if dsa_config else None,
+            "energy_params": asdict(DEFAULT_ENERGY_PARAMS),
+        }
+        # Guarded runs and fault-altered runs record different counters, so
+        # they live under their own keys — the clean cache stays pristine
+        # and a faulted campaign can never poison a fault-free one.
+        if self.guard:
+            parts["guard"] = True
+        if self.fault_plan is not None and self.fault_plan.alters_result(spec.label):
+            parts["fault_plan"] = self.fault_plan.digest()
+        return content_key(parts)
 
     # ------------------------------------------------------------------
     def run_one(self, spec: RunSpec) -> RunResult:
-        return self.run([spec]).result_for(spec)
+        outcome = self.run([spec])
+        if outcome.failures:
+            f = outcome.failures[0]
+            raise ReproError(
+                f"run {f.label} failed after {f.attempts} attempt(s): {f.kind}: {f.cause}"
+            )
+        return outcome.result_for(spec)
 
     def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
         """Run the matrix; duplicate specs are computed once."""
         start = time.perf_counter()
+        plan = self.fault_plan
         ordered = list(specs)
         sources: dict[RunSpec, str] = {}
         walls: dict[RunSpec, float] = {}
         results: dict[RunSpec, RunResult] = {}
+        failures: dict[RunSpec, RunFailure] = {}
         keys: dict[RunSpec, str] = {}
         pending: list[RunSpec] = []
         seen: set[RunSpec] = set()
 
+        lookups: dict[RunSpec, float] = {}
         for spec in ordered:
             if spec in seen:
                 continue
             seen.add(spec)
+            if spec in self._memory:
+                continue
+            lookup_start = time.perf_counter()
+            keys[spec] = self.cache_key(spec)
+            lookups[spec] = time.perf_counter() - lookup_start
+
+        if plan is not None and not self.resume:
+            self._apply_cache_faults(plan, keys)
+        self.disk.prune_tmp()
+
+        for spec in dict.fromkeys(ordered):
             if spec in self._memory:
                 sources[spec] = "memory"
                 walls[spec] = 0.0
                 results[spec] = self._memory[spec]
                 continue
             lookup_start = time.perf_counter()
-            key = self.cache_key(spec)
-            keys[spec] = key
-            cached = self._load_cached(key)
+            # a freshly-faulted campaign must not serve plan-targeted specs
+            # from cache — the injected faults would never fire
+            skip_read = plan is not None and not self.resume and plan.for_label(spec.label)
+            cached = None if skip_read else self._load_cached(keys[spec])
             if cached is not None:
                 sources[spec] = "disk-cache"
-                walls[spec] = time.perf_counter() - lookup_start
+                walls[spec] = lookups[spec] + time.perf_counter() - lookup_start
                 results[spec] = cached
             else:
                 pending.append(spec)
 
         if pending:
-            self._compute(pending, results, walls)
+            self._compute(pending, keys, results, walls, failures)
             for spec in pending:
-                sources[spec] = "computed"
-                self.disk.store(keys[spec], {"spec": spec.to_dict(), "result": results[spec].to_dict()})
+                if spec in results:
+                    sources[spec] = "computed"
 
         self._memory.update(results)
 
         unique = [s for s in dict.fromkeys(ordered)]
         metrics: list[RunMetrics] = []
-        for done, spec in enumerate(unique, start=1):
+        done = 0
+        for spec in unique:
+            if spec not in results:
+                continue
+            done += 1
             m = RunMetrics.for_run(spec.to_dict(), results[spec], sources[spec], walls[spec])
             metrics.append(m)
             if self.progress is not None:
@@ -272,6 +402,7 @@ class CampaignRunner:
             wall_time_s=time.perf_counter() - start,
             jobs=self.jobs,
             cache_dir=str(self.disk.root) if self.disk.enabled else None,
+            failures=[failures[s] for s in unique if s in failures],
         )
 
     # ------------------------------------------------------------------
@@ -286,31 +417,131 @@ class CampaignRunner:
             self.disk.path_for(key).unlink(missing_ok=True)
             return None
 
+    def _store(self, spec: RunSpec, keys: dict[RunSpec, str], result: RunResult) -> None:
+        key = keys.get(spec)
+        if key is not None:
+            self.disk.store(key, {"spec": spec.to_dict(), "result": result.to_dict()})
+
+    def _apply_cache_faults(self, plan: FaultPlan, keys: dict[RunSpec, str]) -> None:
+        """Damage disk-cache entries the plan targets, the way a crashed or
+        bit-rotted writer would (the loader must recover by re-running)."""
+        if not self.disk.enabled:
+            return
+        for spec, key in keys.items():
+            for fault in plan.cache_faults_for(spec.label):
+                path = self.disk.path_for(key)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                if fault.mode == "garbage":
+                    path.write_bytes(b"\x00\xffnot json at all\xfe")
+                elif fault.mode == "version":
+                    payload = {"cache_version": -1, "spec": spec.to_dict(), "result": {}}
+                    path.write_text(json.dumps(payload))
+                elif fault.mode == "truncate":
+                    if path.exists():
+                        data = path.read_bytes()
+                        path.write_bytes(data[: max(1, len(data) // 2)])
+                    else:
+                        path.write_text('{"cache_version": 1, "spec": {"worklo')
+                elif fault.mode == "tmp":
+                    (path.parent / f"{key[:12]}-orphan.tmp").write_text("{half-written")
+
     def _compute(
         self,
         pending: list[RunSpec],
+        keys: dict[RunSpec, str],
         results: dict[RunSpec, RunResult],
         walls: dict[RunSpec, float],
+        failures: dict[RunSpec, RunFailure],
     ) -> None:
-        if self.jobs == 1 or len(pending) == 1:
-            for spec in pending:
+        plan = self.fault_plan
+        # Worker faults hard-exit or hang: they must only ever run inside a
+        # sacrificial process, never in the campaign's own interpreter.
+        needs_isolation = (
+            self.jobs > 1
+            or self.timeout is not None
+            or (plan is not None and any(
+                f.kind in WORKER_FAULT_KINDS
+                for spec in pending
+                for f in plan.for_label(spec.label)
+            ))
+        )
+        if not needs_isolation:
+            self._compute_inline(pending, keys, results, walls, failures)
+        else:
+            self._compute_isolated(pending, keys, results, walls, failures)
+
+    def _compute_inline(self, pending, keys, results, walls, failures) -> None:
+        for spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
                 run_start = time.perf_counter()
-                results[spec] = _canonical(execute_spec(spec, cpu_config=self.cpu_config))
+                try:
+                    result = _canonical(
+                        execute_spec(
+                            spec,
+                            cpu_config=self.cpu_config,
+                            guard=self.guard,
+                            plan=self.fault_plan,
+                            max_seconds=self.timeout,
+                        )
+                    )
+                except Exception as exc:  # noqa: BLE001 - captured as RunFailure
+                    wall = time.perf_counter() - run_start
+                    if attempt <= self.retries:
+                        time.sleep(self.backoff * (2 ** (attempt - 1)))
+                        continue
+                    kind = "timeout" if isinstance(exc, RunTimeoutError) else "error"
+                    failures[spec] = RunFailure(
+                        spec=spec.to_dict(),
+                        label=spec.label,
+                        kind=kind,
+                        cause=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                        wall_time_s=wall,
+                    )
+                    break
                 walls[spec] = time.perf_counter() - run_start
-            return
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_pool_execute, (spec, self.cpu_config)): spec for spec in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    spec = futures[future]
-                    encoded, wall = future.result()
-                    results[spec] = RunResult.from_dict(json.loads(encoded))
-                    walls[spec] = wall
+                results[spec] = result
+                self._store(spec, keys, result)
+                break
+
+    def _compute_isolated(self, pending, keys, results, walls, failures) -> None:
+        def on_complete(index: int, outcome: IsolatedOutcome) -> None:
+            spec = pending[index]
+            if outcome.ok:
+                encoded, secs = outcome.value
+                results[spec] = RunResult.from_dict(json.loads(encoded))
+                walls[spec] = secs
+                # incremental: each result is durable the moment it exists,
+                # so a later crash/interrupt can never lose it
+                self._store(spec, keys, results[spec])
+                return
+            kind = outcome.status
+            if kind == "error" and outcome.detail.startswith("RunTimeoutError"):
+                kind = "timeout"  # the in-worker cooperative deadline fired
+            failures[spec] = RunFailure(
+                spec=spec.to_dict(),
+                label=spec.label,
+                kind=kind,
+                cause=outcome.detail,
+                attempts=outcome.attempts,
+                wall_time_s=outcome.wall_time_s,
+            )
+
+        executor = IsolatedExecutor(
+            _worker_run,
+            jobs=min(self.jobs, len(pending)),
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            on_complete=on_complete,
+        )
+        tasks = [
+            (spec, self.cpu_config, self.guard, self.fault_plan, self.timeout)
+            for spec in pending
+        ]
+        executor.run(tasks)
 
 
 # ----------------------------------------------------------------------

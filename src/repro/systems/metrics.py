@@ -23,7 +23,13 @@ from ..energy.model import EnergyReport
 from .setups import SystemResult
 
 #: DSAStats fields that are Counters (plain dicts on the wire)
-_COUNTER_FIELDS = ("verdicts", "vectorized_invocations", "stage_activations", "leftover_used")
+_COUNTER_FIELDS = (
+    "verdicts",
+    "vectorized_invocations",
+    "stage_activations",
+    "leftover_used",
+    "fallback_causes",
+)
 
 
 @dataclass
@@ -118,6 +124,7 @@ class RunMetrics:
     instructions: int
     stall_breakdown: dict[str, int]  # TimingStats counters
     dsa_counters: dict | None        # DSA stage activations, if a DSA ran
+    fallbacks: int = 0               # guarded-execution scalar rollbacks
 
     @property
     def cache_hit(self) -> bool:
@@ -133,6 +140,7 @@ class RunMetrics:
             instructions=result.instructions,
             stall_breakdown=dict(result.timing_stats),
             dsa_counters=dict(result.dsa_stats.stage_activations) if result.dsa_stats else None,
+            fallbacks=result.dsa_stats.fallbacks if result.dsa_stats else 0,
         )
 
     def to_dict(self) -> dict:
@@ -145,4 +153,32 @@ class RunMetrics:
             "instructions": self.instructions,
             "stall_breakdown": self.stall_breakdown,
             "dsa_counters": self.dsa_counters,
+            "fallbacks": self.fallbacks,
+        }
+
+
+@dataclass
+class RunFailure:
+    """A spec the campaign could not complete, after all retries.
+
+    Failures are first-class campaign output: the campaign finishes the
+    rest of the matrix, reports every failure by label, and exits nonzero —
+    it never dies on the first broken run.
+    """
+
+    spec: dict                # RunSpec.to_dict()
+    label: str                # RunSpec.label, the human-facing handle
+    kind: str                 # "error" | "crash" | "timeout"
+    cause: str                # one-line diagnosis (exception / exit code)
+    attempts: int             # how many times the run was tried
+    wall_time_s: float = 0.0  # wall time of the final attempt
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "label": self.label,
+            "kind": self.kind,
+            "cause": self.cause,
+            "attempts": self.attempts,
+            "wall_time_s": round(self.wall_time_s, 6),
         }

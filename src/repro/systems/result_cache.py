@@ -103,11 +103,28 @@ class ResultDiskCache:
             raise
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and orphaned temp files); returns how many
+        files were removed."""
         removed = 0
         if not self.root.exists():
             return removed
-        for path in self.root.rglob("*.json"):
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.root.rglob(pattern):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def prune_tmp(self) -> int:
+        """Remove orphaned ``*.tmp`` files left behind by crashed writers.
+
+        The write path is mkstemp-then-rename, so a worker killed mid-store
+        leaves a ``*.tmp`` beside the entries.  They are harmless to reads
+        but accumulate forever; the campaign runner prunes them on startup.
+        """
+        removed = 0
+        if not self.enabled or not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.tmp"):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -7,6 +7,7 @@ exact mapping), ``sp`` pointing at the spill frame.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -16,7 +17,7 @@ from ..compiler.ir import ArrayParam, ScalarParam
 from ..compiler.lowering import LoweredKernel
 from ..cpu.config import CPUConfig
 from ..cpu.core import Core, CoreResult
-from ..errors import ConfigError
+from ..errors import ConfigError, RunTimeoutError
 from ..isa.operands import SP
 from ..memory.backing import Allocator, MainMemory
 
@@ -49,13 +50,16 @@ def execute_kernel(
     memory_bytes: int = 8 * 1024 * 1024,
     attach: Callable[[Core], None] | None = None,
     max_instructions: int = 100_000_000,
+    max_seconds: float | None = None,
 ) -> KernelRun:
     """Run a lowered kernel with the given arguments.
 
     ``args`` maps parameter names to numpy arrays (for array parameters —
     copied into simulated memory) or Python ints (for scalar parameters).
     ``attach`` lets callers hook a DSA or trace sink onto the core before
-    the run starts.
+    the run starts.  ``max_seconds`` is a cooperative wall-clock budget:
+    the run raises :class:`RunTimeoutError` once it is exceeded (checked
+    every few thousand retired instructions, so overshoot is bounded).
     """
     # Validate the whole argument set up front, before anything is allocated
     # or copied: a bad call must fail without mutating allocator/core state.
@@ -99,6 +103,20 @@ def execute_kernel(
 
     if attach is not None:
         attach(core)
+
+    if max_seconds is not None:
+        deadline = time.perf_counter() + max_seconds
+        retired = 0
+
+        def _deadline_hook(record) -> None:
+            nonlocal retired
+            retired += 1
+            if retired % 2048 == 0 and time.perf_counter() > deadline:
+                raise RunTimeoutError(
+                    f"kernel {lowered.kernel.name!r} exceeded {max_seconds:.1f}s wall clock"
+                )
+
+        core.retire_hooks.append(_deadline_hook)
 
     result = core.run(max_instructions=max_instructions)
     return KernelRun(

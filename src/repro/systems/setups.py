@@ -89,21 +89,38 @@ def run_system(
     dsa_stage: str = "full",
     check_golden: bool = True,
     max_instructions: int = 100_000_000,
+    guard: bool = False,
+    injector=None,
+    max_seconds: float | None = None,
 ) -> SystemResult:
-    """Run one workload on one system and (optionally) verify its outputs."""
+    """Run one workload on one system and (optionally) verify its outputs.
+
+    ``guard`` turns on the DSA's guarded execution: vector outcomes are
+    cross-checked against the scalar reference and mis-speculation rolls
+    back to scalar instead of raising (``dsa_stats.fallbacks`` counts the
+    rollbacks).  ``injector`` attaches a :class:`repro.faults.FaultInjector`
+    corrupting speculative DSA state (``neon_dsa``) or architectural NEON
+    lanes (static SIMD systems).  ``max_seconds`` bounds the run's wall
+    clock (see :func:`repro.systems.runner.execute_kernel`).
+    """
     lowered = lower_for(system, workload)
     dsa = None
     attach = None
     if system == "neon_dsa":
-        dsa = DynamicSIMDAssembler(dsa_config or DSA_STAGES[dsa_stage])
+        dsa = DynamicSIMDAssembler(dsa_config or DSA_STAGES[dsa_stage], guard=guard, injector=injector)
         attach = dsa.attach
+    elif injector is not None and injector.has_neon_faults:
+        attach = injector.attach_neon
     run = execute_kernel(
         lowered,
         workload.fresh_args(),
         config=cpu_config or DEFAULT_CPU_CONFIG,
         attach=attach,
         max_instructions=max_instructions,
+        max_seconds=max_seconds,
     )
+    if dsa is not None and injector is not None:
+        dsa.stats.injected_faults = injector.injections
     if check_golden:
         expected = workload.expected()
         for name in workload.output_arrays:

@@ -1,0 +1,101 @@
+"""Disk-cache damage: recovery semantics and the tmp-file hygiene.
+
+Every flavor of cache damage must read as a miss (recompute), never as an
+error and never as a stale hit.
+"""
+
+import json
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.systems.campaign import CampaignRunner, RunSpec
+from repro.systems.result_cache import CACHE_VERSION, ResultDiskCache
+
+SPEC = RunSpec("micro:count", "arm_original")
+
+
+def _key_path(runner: CampaignRunner, spec: RunSpec):
+    return runner.disk.path_for(runner.cache_key(spec))
+
+
+class TestManualDamageRecovery:
+    def _primed(self, tmp_path):
+        runner = CampaignRunner(jobs=1, cache_dir=tmp_path)
+        baseline = runner.run([SPEC]).result_for(SPEC)
+        return CampaignRunner(jobs=1, cache_dir=tmp_path), baseline
+
+    def test_bad_json_recovers(self, tmp_path):
+        runner, baseline = self._primed(tmp_path)
+        path = _key_path(runner, SPEC)
+        path.write_bytes(b"\x00not json\xff")
+        outcome = runner.run([SPEC])
+        assert outcome.metrics[0].source == "computed"
+        assert outcome.result_for(SPEC).to_dict() == baseline.to_dict()
+        assert not path.exists() or json.loads(path.read_text())  # re-stored clean
+
+    def test_wrong_cache_version_recovers(self, tmp_path):
+        runner, baseline = self._primed(tmp_path)
+        path = _key_path(runner, SPEC)
+        payload = json.loads(path.read_text())
+        assert payload["cache_version"] == CACHE_VERSION
+        payload["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        outcome = runner.run([SPEC])
+        assert outcome.metrics[0].source == "computed"
+        assert outcome.result_for(SPEC).to_dict() == baseline.to_dict()
+
+    def test_truncated_entry_recovers(self, tmp_path):
+        runner, baseline = self._primed(tmp_path)
+        path = _key_path(runner, SPEC)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        outcome = runner.run([SPEC])
+        assert outcome.metrics[0].source == "computed"
+        assert outcome.result_for(SPEC).to_dict() == baseline.to_dict()
+
+    def test_intact_entry_still_hits(self, tmp_path):
+        runner, _ = self._primed(tmp_path)
+        assert runner.run([SPEC]).metrics[0].source == "disk-cache"
+
+
+class TestInjectedCacheFaults:
+    def test_every_corrupt_mode_recovers(self, tmp_path):
+        clean = CampaignRunner(jobs=1, cache_dir=tmp_path)
+        baseline = clean.run([SPEC]).result_for(SPEC)
+        for mode in ("garbage", "version", "truncate"):
+            plan = FaultPlan(faults=[FaultSpec(kind="cache_corrupt", match="micro:count/*", mode=mode)])
+            runner = CampaignRunner(jobs=1, cache_dir=tmp_path, fault_plan=plan)
+            outcome = runner.run([SPEC])
+            assert outcome.ok
+            assert outcome.metrics[0].source == "computed", mode
+            assert outcome.result_for(SPEC).to_dict() == baseline.to_dict(), mode
+
+    def test_tmp_mode_orphans_are_pruned_on_startup(self, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="cache_corrupt", match="micro:count/*", mode="tmp")])
+        runner = CampaignRunner(jobs=1, cache_dir=tmp_path, fault_plan=plan)
+        outcome = runner.run([SPEC])
+        assert outcome.ok
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestTmpHygiene:
+    def test_prune_tmp_removes_only_orphans(self, tmp_path):
+        cache = ResultDiskCache(tmp_path)
+        cache.store("ab" + "0" * 62, {"keep": True})
+        sub = tmp_path / "ab"
+        (sub / "orphan1.tmp").write_text("torn")
+        (sub / "orphan2.tmp").write_text("torn")
+        assert cache.prune_tmp() == 2
+        assert cache.load("ab" + "0" * 62) == {"cache_version": CACHE_VERSION, "keep": True}
+        assert cache.prune_tmp() == 0
+
+    def test_clear_removes_entries_and_orphans(self, tmp_path):
+        cache = ResultDiskCache(tmp_path)
+        cache.store("cd" + "0" * 62, {"x": 1})
+        (tmp_path / "cd" / "leftover.tmp").write_text("torn")
+        assert cache.clear() == 2
+        assert cache.load("cd" + "0" * 62) is None
+
+    def test_disabled_cache_prunes_nothing(self, tmp_path):
+        (tmp_path / "a.tmp").write_text("torn")
+        cache = ResultDiskCache(tmp_path, enabled=False)
+        assert cache.prune_tmp() == 0

@@ -1,0 +1,181 @@
+"""Crash-isolated campaign execution under injected harness faults.
+
+Workers that raise, hard-exit, or hang cost the campaign exactly the run
+they were computing: everything else completes, failures come back as
+:class:`RunFailure` records, and retried runs produce byte-identical
+results to a fault-free serial campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultSpec
+from repro.systems.campaign import CampaignRunner, RunSpec
+
+SPECS = [
+    RunSpec("micro:count", "neon_dsa", "full", "test"),
+    RunSpec("micro:conditional", "neon_dsa", "full", "test"),
+    RunSpec("micro:sentinel", "arm_original", "full", "test"),
+    RunSpec("micro:partial", "neon_autovec", "full", "test"),
+]
+
+
+def _encode(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def clean_serial(tmp_path_factory):
+    """The fault-free --jobs 1 reference campaign."""
+    cache = tmp_path_factory.mktemp("clean-cache")
+    return CampaignRunner(jobs=1, cache_dir=cache).run(SPECS)
+
+
+class TestWorkerCrash:
+    def test_retry_recovers_and_results_match_serial(self, clean_serial, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", match="micro:count/*", times=1)])
+        runner = CampaignRunner(
+            jobs=2, cache_dir=tmp_path, fault_plan=plan,
+            timeout=60.0, retries=1, backoff=0.05,
+        )
+        outcome = runner.run(SPECS)
+        assert outcome.ok, [f.to_dict() for f in outcome.failures]
+        for spec in SPECS:
+            assert _encode(outcome.result_for(spec)) == _encode(clean_serial.result_for(spec))
+
+    def test_terminal_crash_reported_not_fatal(self, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_exit", match="micro:count/*", times=0, exit_code=7)])
+        runner = CampaignRunner(jobs=2, cache_dir=tmp_path, fault_plan=plan, retries=1, backoff=0.05)
+        outcome = runner.run(SPECS)
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert failure.kind == "crash"
+        assert failure.label == "micro:count/neon_dsa[full]"
+        assert failure.attempts == 2  # one retry was spent
+        assert "exit code 7" in failure.cause
+        assert len(outcome.metrics) == len(SPECS) - 1  # the rest completed
+
+    def test_raising_worker_is_an_error_failure(self, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", match="micro:count/*", times=0)])
+        outcome = CampaignRunner(jobs=2, cache_dir=tmp_path, fault_plan=plan).run(SPECS[:2])
+        (failure,) = outcome.failures
+        assert failure.kind == "error"
+        assert "InjectedFaultError" in failure.cause
+
+
+class TestWorkerHang:
+    def test_hang_is_killed_at_deadline_and_retried(self, clean_serial, tmp_path):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_hang", match="micro:sentinel/*", times=1, seconds=300.0)
+        ])
+        runner = CampaignRunner(
+            jobs=2, cache_dir=tmp_path, fault_plan=plan,
+            timeout=3.0, retries=1, backoff=0.05,
+        )
+        outcome = runner.run(SPECS[:3])
+        assert outcome.ok, [f.to_dict() for f in outcome.failures]
+        spec = SPECS[2]
+        assert _encode(outcome.result_for(spec)) == _encode(clean_serial.result_for(spec))
+
+    def test_persistent_hang_becomes_timeout_failure(self, tmp_path):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_hang", match="micro:sentinel/*", times=0, seconds=300.0)
+        ])
+        runner = CampaignRunner(jobs=2, cache_dir=tmp_path, fault_plan=plan, timeout=2.0)
+        outcome = runner.run(SPECS[2:])
+        (failure,) = outcome.failures
+        assert failure.kind == "timeout"
+        assert failure.label == "micro:sentinel/arm_original"
+
+
+class TestAcceptanceCombo:
+    def test_crash_hang_and_corrupted_cache_in_one_campaign(self, clean_serial, tmp_path):
+        """The issue's acceptance scenario: one worker crash, one hang, two
+        corrupted cache entries — the campaign completes, the faulted specs
+        recover through retries, and every non-faulted result is
+        byte-identical to the fault-free serial run."""
+        cache = tmp_path / "cache"
+        # pre-populate the cache so the corruption faults have targets
+        CampaignRunner(jobs=1, cache_dir=cache).run(SPECS)
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_crash", match="micro:count/*", times=1),
+            FaultSpec(kind="worker_hang", match="micro:conditional/*", times=1, seconds=300.0),
+            FaultSpec(kind="cache_corrupt", match="micro:sentinel/*", mode="garbage"),
+            FaultSpec(kind="cache_corrupt", match="micro:partial/*", mode="truncate"),
+        ])
+        runner = CampaignRunner(
+            jobs=2, cache_dir=cache, fault_plan=plan,
+            timeout=5.0, retries=2, backoff=0.05,
+        )
+        outcome = runner.run(SPECS)
+        assert outcome.ok, [f.to_dict() for f in outcome.failures]
+        # corrupted entries were recovered by recomputing, not served stale
+        for m in outcome.metrics:
+            assert m.source == "computed"
+        for spec in SPECS:
+            assert _encode(outcome.result_for(spec)) == _encode(clean_serial.result_for(spec))
+
+
+class TestIncrementalStore:
+    def test_results_are_durable_before_the_campaign_ends(self, tmp_path):
+        """A terminal failure in one spec must not lose sibling results:
+        each run is written to the disk cache the moment it completes."""
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_exit", match="micro:count/*", times=0)])
+        runner = CampaignRunner(jobs=2, cache_dir=tmp_path, fault_plan=plan, retries=0)
+        outcome = runner.run(SPECS[:3])
+        assert not outcome.ok
+        # the two non-faulted siblings are already on disk: a fresh runner
+        # serves them without computing anything
+        rerun = CampaignRunner(jobs=1, cache_dir=tmp_path).run(SPECS[1:3])
+        assert rerun.ok
+        assert [m.source for m in rerun.metrics] == ["disk-cache", "disk-cache"]
+
+
+class TestResume:
+    def test_resume_serves_plan_targets_from_cache(self, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", match="micro:count/*", times=0)])
+        first = CampaignRunner(jobs=2, cache_dir=tmp_path, fault_plan=plan, retries=0).run(SPECS[:2])
+        assert len(first.failures) == 1
+        # without --resume the crash would fire again forever; with it the
+        # campaign treats the incremental store as the source of truth
+        resumed = CampaignRunner(jobs=1, cache_dir=tmp_path, fault_plan=plan, resume=True).run(SPECS[:2])
+        assert len(resumed.failures) == 1  # the crashed spec was never computed
+        done = CampaignRunner(jobs=1, cache_dir=tmp_path).run(SPECS[:2])
+        assert done.ok
+
+
+class TestRunOneContract:
+    def test_run_one_raises_a_clear_error_on_failure(self, tmp_path):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", match="*", times=0)])
+        runner = CampaignRunner(jobs=1, cache_dir=tmp_path, fault_plan=plan)
+        with pytest.raises(ReproError, match="failed after 1 attempt"):
+            runner.run_one(SPECS[0])
+
+
+class TestCLIExitCodes:
+    def test_partial_failure_exits_3(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps(
+            {"faults": [{"kind": "worker_exit", "match": "micro:count/*", "times": 0}]}
+        ))
+        code = main([
+            "campaign", "--workloads", "micro:count", "micro:sentinel",
+            "--systems", "arm_original",
+            "--inject", str(plan_file), "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "failed: micro:count/arm_original" in err
+        assert "exit code" in err
+
+    def test_unreadable_plan_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["campaign", "--inject", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "fault plan" in capsys.readouterr().err

@@ -1,0 +1,106 @@
+"""IsolatedExecutor unit tests with sacrificial toy workers.
+
+The worker functions must be module-level so they survive pickling under
+any multiprocessing start method.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.systems.isolation import IsolatedExecutor
+
+# tasks are (verb, payload) tuples interpreted by _toy_worker
+
+
+def _toy_worker(task, attempt):
+    verb, payload = task
+    if verb == "ok":
+        return payload * 2
+    if verb == "raise":
+        raise ValueError(f"boom {payload}")
+    if verb == "exit":
+        os._exit(payload)
+    if verb == "hang":
+        time.sleep(payload)
+        return "woke"
+    if verb == "flaky":
+        # fails until the given attempt number is reached
+        if attempt < payload:
+            raise RuntimeError(f"attempt {attempt} too early")
+        return f"ok on {attempt}"
+    raise AssertionError(f"unknown verb {verb}")
+
+
+class TestOutcomes:
+    def test_ok_and_error_and_crash(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=3)
+        outcomes = executor.run([("ok", 21), ("raise", "x"), ("exit", 5)])
+        assert [o.status for o in outcomes] == ["ok", "error", "crash"]
+        assert outcomes[0].value == 42
+        assert "ValueError: boom x" in outcomes[1].detail
+        assert "exit code 5" in outcomes[2].detail
+        assert all(o.attempts == 1 for o in outcomes)
+
+    def test_results_stay_parallel_to_tasks(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=4)
+        tasks = [("ok", n) for n in range(8)]
+        outcomes = executor.run(tasks)
+        assert [o.value for o in outcomes] == [n * 2 for n in range(8)]
+
+    def test_hang_is_killed_as_timeout(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1, timeout=0.5)
+        (outcome,) = executor.run([("hang", 60.0)])
+        assert outcome.status == "timeout"
+        assert "killed" in outcome.detail
+
+    def test_fast_task_beats_its_deadline(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1, timeout=30.0)
+        (outcome,) = executor.run([("ok", 1)])
+        assert outcome.ok and outcome.value == 2
+
+
+class TestRetries:
+    def test_flaky_task_recovers_within_budget(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1, retries=2, backoff=0.01)
+        (outcome,) = executor.run([("flaky", 3)])
+        assert outcome.ok
+        assert outcome.value == "ok on 3"
+        assert outcome.attempts == 3
+
+    def test_retries_exhausted_reports_final_attempt(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1, retries=1, backoff=0.01)
+        (outcome,) = executor.run([("raise", "always")])
+        assert outcome.status == "error"
+        assert outcome.attempts == 2
+
+    def test_crash_is_retried_too(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1, retries=1, backoff=0.01)
+        (outcome,) = executor.run([("exit", 3)])
+        assert outcome.status == "crash"
+        assert outcome.attempts == 2
+
+
+class TestOnComplete:
+    def test_callback_fires_once_per_task_with_final_outcome(self):
+        seen = {}
+        executor = IsolatedExecutor(
+            _toy_worker, jobs=2, retries=1, backoff=0.01,
+            on_complete=lambda index, outcome: seen.setdefault(index, outcome),
+        )
+        executor.run([("ok", 1), ("raise", "y")])
+        assert set(seen) == {0, 1}
+        assert seen[0].ok and not seen[1].ok
+        assert seen[1].attempts == 2
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            IsolatedExecutor(_toy_worker, jobs=0)
+        with pytest.raises(ConfigError):
+            IsolatedExecutor(_toy_worker, retries=-1)
+        with pytest.raises(ConfigError):
+            IsolatedExecutor(_toy_worker, timeout=0)

@@ -1,0 +1,110 @@
+"""FaultPlan / FaultSpec schema, selection and determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import ALL_FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultSpec(kind="bitsquatch")
+
+    def test_every_documented_kind_constructs(self):
+        for kind in ALL_FAULT_KINDS:
+            FaultSpec(kind=kind)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigError, match="times"):
+            FaultSpec(kind="worker_crash", times=-1)
+
+    def test_hang_needs_positive_seconds(self):
+        with pytest.raises(ConfigError, match="seconds"):
+            FaultSpec(kind="worker_hang", seconds=0)
+
+    def test_cache_corrupt_mode_checked(self):
+        with pytest.raises(ConfigError, match="cache_corrupt mode"):
+            FaultSpec(kind="cache_corrupt", mode="setfire")
+
+    def test_zero_delta_lane_rejected(self):
+        with pytest.raises(ConfigError, match="delta"):
+            FaultSpec(kind="lane", delta=0)
+
+    def test_zero_shift_trip_count_rejected(self):
+        with pytest.raises(ConfigError, match="shift"):
+            FaultSpec(kind="trip_count", shift=0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault spec field"):
+            FaultSpec.from_dict({"kind": "lane", "blast_radius": 3})
+
+    def test_kind_required(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FaultSpec.from_dict({"match": "*"})
+
+
+class TestSelection:
+    def test_fnmatch_over_labels(self):
+        spec = FaultSpec(kind="lane", match="micro:*/neon_dsa*")
+        assert spec.matches("micro:count/neon_dsa[full]")
+        assert not spec.matches("matmul/neon_dsa[full]")
+        assert not spec.matches("micro:count/arm_original")
+
+    def test_worker_fault_attempt_windows(self):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", match="*", times=2)])
+        assert plan.worker_fault_for("x/y", attempt=1) is not None
+        assert plan.worker_fault_for("x/y", attempt=2) is not None
+        assert plan.worker_fault_for("x/y", attempt=3) is None
+
+    def test_times_zero_means_every_attempt(self):
+        plan = FaultPlan(faults=[FaultSpec(kind="worker_crash", times=0)])
+        assert plan.worker_fault_for("any/label", attempt=99) is not None
+
+    def test_alters_result_only_for_state_faults(self):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="lane", match="a/*"),
+            FaultSpec(kind="worker_crash", match="b/*"),
+            FaultSpec(kind="cache_corrupt", match="c/*"),
+        ])
+        assert plan.alters_result("a/neon_dsa[full]")
+        assert not plan.alters_result("b/neon_dsa[full]")
+        assert not plan.alters_result("c/neon_dsa[full]")
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            faults=[
+                FaultSpec(kind="lane", match="micro:*", delta=3),
+                FaultSpec(kind="worker_hang", seconds=1.5, times=2),
+            ],
+            seed=17,
+        )
+        again = FaultPlan.loads(plan.dumps())
+        assert again == plan
+
+    def test_digest_is_content_addressed(self):
+        a = FaultPlan(faults=[FaultSpec(kind="lane")], seed=1)
+        b = FaultPlan(faults=[FaultSpec(kind="lane")], seed=1)
+        c = FaultPlan(faults=[FaultSpec(kind="lane", delta=2)], seed=1)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    def test_stream_seed_deterministic_and_distinct(self):
+        f1 = FaultSpec(kind="lane")
+        f2 = FaultSpec(kind="trip_count")
+        plan = FaultPlan(faults=[f1, f2], seed=5)
+        assert plan.stream_seed(f1, "a/b") == plan.stream_seed(f1, "a/b")
+        assert plan.stream_seed(f1, "a/b") != plan.stream_seed(f2, "a/b")
+        assert plan.stream_seed(f1, "a/b") != plan.stream_seed(f1, "a/c")
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            FaultPlan.load(bad)
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault plan field"):
+            FaultPlan.loads('{"faults": [], "chaos": true}')

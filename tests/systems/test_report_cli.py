@@ -108,10 +108,11 @@ class TestCampaignCommand:
         )
         assert code == 0
         payload = _json.loads(capsys.readouterr().out)
-        assert set(payload) == {"campaign", "runs", "results"}
+        assert set(payload) == {"campaign", "runs", "results", "failures"}
         (run,) = payload["runs"]
         assert {"spec", "source", "cache_hit", "wall_time_s", "cycles",
-                "instructions", "stall_breakdown", "dsa_counters"} <= set(run)
+                "instructions", "stall_breakdown", "dsa_counters", "fallbacks"} <= set(run)
+        assert payload["failures"] == []
 
     def test_campaign_second_invocation_hits_cache(self, capsys):
         argv = ["campaign", "--workloads", "rgb_gray", "--systems", "arm_original", "--json"]
