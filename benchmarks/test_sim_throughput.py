@@ -1,0 +1,73 @@
+"""Simulator-throughput benchmark: guest MIPS per host second.
+
+Not part of the default test run (pyproject pins ``testpaths = ["tests"]``);
+invoke explicitly, either as a script or through pytest:
+
+    PYTHONPATH=src python benchmarks/test_sim_throughput.py
+    PYTHONPATH=src python -m pytest benchmarks/test_sim_throughput.py -q
+
+The script form measures the full default matrix with a legacy comparison
+and writes ``BENCH_sim_throughput.json`` (the file CI uploads and the
+committed baseline is refreshed from).  The pytest form runs a reduced
+matrix with loose assertions — it guards the *machinery* and the headline
+claim (the predecoded interpreter beats the legacy one on the record-free
+path), not exact numbers, which are host-dependent.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.systems.bench import run_bench  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_sim_throughput.json"
+
+
+def test_throughput_is_measurable():
+    report = run_bench(workloads=["rgb_gray"], systems=["arm_original"], repeats=1)
+    assert report.aggregate_mips > 0
+    assert all(r.host_seconds > 0 for r in report.runs)
+
+
+def test_predecode_beats_legacy_on_fast_path():
+    # arm_original runs the record-free loop, where predecode wins big
+    # (~5x here); 1.5x leaves a wide margin for noisy CI hosts
+    report = run_bench(
+        workloads=["matmul"], systems=["arm_original"],
+        repeats=2, compare_legacy=True,
+    )
+    run = report.runs[0]
+    assert run.speedup is not None
+    assert run.speedup > 1.5, (
+        f"predecoded interpreter only {run.speedup:.2f}x faster than legacy; "
+        "the fast path has regressed"
+    )
+
+
+def test_traced_path_not_slower_than_legacy():
+    # neon_dsa forces the traced loop (records + suppressor); it must at
+    # minimum not lose to the legacy interpreter
+    report = run_bench(
+        workloads=["rgb_gray"], systems=["neon_dsa"],
+        repeats=2, compare_legacy=True,
+    )
+    assert report.runs[0].speedup > 0.9
+
+
+def main() -> int:
+    print("measuring simulator throughput (default matrix + legacy comparison)...",
+          file=sys.stderr)
+    report = run_bench(repeats=3, compare_legacy=True,
+                       progress=lambda label: print(f"  {label}", file=sys.stderr))
+    print(report.table())
+    OUTPUT.write_text(json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

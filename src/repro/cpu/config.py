@@ -63,6 +63,11 @@ class CPUConfig:
     clock_hz: float = 1e9
     issue_width: int = 2
     mispredict_penalty: int = 8
+    #: decode the program once at core construction and run the
+    #: direct-dispatch fast path; False keeps the legacy per-step
+    #: interpreter (byte-identical results — kept for one release as the
+    #: golden reference the identity suite compares against)
+    predecode: bool = True
     scalar: ScalarLatencies = field(default_factory=ScalarLatencies)
     vector: VectorLatencies = field(default_factory=VectorLatencies)
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)

@@ -54,6 +54,7 @@ from .executor import (
     load_to_register,
     mul_compute,
 )
+from .predecode import DecodedProgram, predecode
 from .timing import TimingModel
 from .trace import MemAccess, TraceRecord
 
@@ -102,6 +103,7 @@ class Core:
         self.icounts: Counter = Counter()
         self.retire_hooks: list[RetireHook] = []
         self.timing_suppressor: TimingSuppressor | None = None
+        self._decoded: DecodedProgram | None = None  # built lazily on first run()
 
     # ------------------------------------------------------------------
     # register convenience (harness-facing)
@@ -245,8 +247,11 @@ class Core:
     # ------------------------------------------------------------------
     def run(self, max_instructions: int = 100_000_000) -> CoreResult:
         """Run until HALT (or the safety limit) and return the summary."""
-        while not self.halted and self.seq < max_instructions:
-            self.step()
+        if self.config.predecode:
+            self._run_decoded(max_instructions)
+        else:
+            while not self.halted and self.seq < max_instructions:
+                self.step()
         if not self.halted:
             raise ExecutionError(
                 f"program did not halt within {max_instructions} instructions"
@@ -260,6 +265,154 @@ class Core:
             icounts=self.icounts.copy(),
             hierarchy_stats=self.hierarchy.stats_dict(),
         )
+
+    # ------------------------------------------------------------------
+    # predecoded run loops (byte-identical to repeated step(); see
+    # tests/cpu/test_predecode_identity.py)
+    # ------------------------------------------------------------------
+    def _run_decoded(self, max_instructions: int) -> None:
+        if self._decoded is None:
+            self._decoded = predecode(self.program, self.config)
+        # Observers force the traced loop: retire hooks consume TraceRecords
+        # and a suppressor is *queried* with one per instruction, so both
+        # need the full record stream.  With neither attached there is no
+        # reader — the fast loop skips record construction entirely.
+        # (Attach observers before run(), as every current caller does.)
+        if self.retire_hooks or self.timing_suppressor is not None:
+            self._run_decoded_traced(self._decoded, max_instructions)
+        else:
+            self._run_decoded_fast(self._decoded, max_instructions)
+
+    def _run_decoded_fast(self, dec: DecodedProgram, max_instructions: int) -> None:
+        """Record-free inner loop: no TraceRecord, no per-step attribute
+        traffic; per-op retire counts are aggregated into ``icounts`` on exit
+        (legacy counts first-retirement insertion order, this counts program
+        order — Counter equality and sorted serialization are unaffected)."""
+        if self.halted:
+            return
+        ops = dec.ops
+        base = dec.base
+        n = dec.n
+        timing = self.timing
+        charge_scalar = timing.charge_scalar_decoded
+        charge_vector = timing.charge_vector_decoded
+        hierarchy_access = self.hierarchy.access
+        counts = [0] * len(ops)
+        seq = self.seq
+        pc = self.pc
+        idx = (pc - base) >> 2
+        try:
+            while seq < max_instructions:
+                # same validity rule as Program.contains(): in range + aligned
+                if idx < 0 or idx > n or pc != base + (idx << 2):
+                    raise ExecutionError(
+                        f"address 0x{pc:x} is not inside the text segment"
+                    )
+                op = ops[idx]  # ops[n] is the sentinel: raises the same error
+                result = op.execute(self)
+                counts[idx] += 1
+                seq += 1
+                if result is None:
+                    # simple sequential scalar op (no memory, no branch)
+                    charge_scalar(op)
+                    idx += 1
+                    pc += INSTRUCTION_BYTES
+                    continue
+                next_pc, accesses, branch_taken, mispredicted = result
+                mem_latency = 0
+                for a in accesses:
+                    mem_latency += hierarchy_access(a.addr, a.nbytes, a.is_write)
+                if op.is_vector:
+                    charge_vector(op, mem_latency)
+                else:
+                    charge_scalar(op, mem_latency, mispredicted)
+                pc = next_pc
+                if self.halted:
+                    break
+                if branch_taken is None:
+                    idx += 1
+                else:
+                    idx = (pc - base) >> 2
+        finally:
+            # exceptions (bad fetch, memory fault) leave the same architected
+            # state the legacy loop would: the faulting op not yet retired
+            self.seq = seq
+            self.pc = pc
+            icounts = self.icounts
+            for i in range(n):
+                c = counts[i]
+                if c:
+                    icounts[ops[i].kind_name] += c
+
+    def _run_decoded_traced(self, dec: DecodedProgram, max_instructions: int) -> None:
+        """Full-fidelity loop: builds every TraceRecord and drives the
+        suppressor and retire hooks exactly like step(), but executes through
+        the predecoded closures and precomputed register metadata."""
+        ops = dec.ops
+        base = dec.base
+        n = dec.n
+        regs = self.regs
+        timing = self.timing
+        charge_scalar = timing.charge_scalar_decoded
+        charge_vector = timing.charge_vector_decoded
+        hierarchy_access = self.hierarchy.access
+        icounts = self.icounts
+        while not self.halted and self.seq < max_instructions:
+            pc = self.pc
+            idx = (pc - base) >> 2
+            if idx < 0 or idx > n or pc != base + (idx << 2):
+                raise ExecutionError(f"address 0x{pc:x} is not inside the text segment")
+            op = ops[idx]  # ops[n] is the sentinel: raises the same error
+            ridx = op.read_idx
+            if not ridx:
+                reg_reads = ()
+            elif len(ridx) == 1:
+                i = ridx[0]
+                reg_reads = ((i, regs[i]),)
+            else:
+                reg_reads = tuple((i, regs[i]) for i in ridx)
+            result = op.execute(self)
+            if result is None:
+                next_pc = pc + INSTRUCTION_BYTES
+                accesses: tuple[MemAccess, ...] = ()
+                branch_taken = None
+                mispredicted = False
+            else:
+                next_pc, accesses, branch_taken, mispredicted = result
+            widx = op.write_idx
+            if not widx:
+                reg_writes = ()
+            elif len(widx) == 1:
+                i = widx[0]
+                reg_writes = ((i, regs[i]),)
+            else:
+                reg_writes = tuple((i, regs[i]) for i in widx)
+            record = TraceRecord(
+                seq=self.seq,
+                pc=pc,
+                instr=op.instr,
+                next_pc=next_pc,
+                accesses=accesses,
+                branch_taken=branch_taken,
+                reg_reads=reg_reads,
+                reg_writes=reg_writes,
+            )
+            suppressor = self.timing_suppressor
+            if suppressor is not None and suppressor(record):
+                timing.note_suppressed()
+            else:
+                mem_latency = 0
+                for a in accesses:
+                    mem_latency += hierarchy_access(a.addr, a.nbytes, a.is_write)
+                if op.is_vector:
+                    charge_vector(op, mem_latency)
+                else:
+                    charge_scalar(op, mem_latency, mispredicted)
+            icounts[op.kind_name] += 1
+            self.seq += 1
+            self.pc = next_pc
+            for hook in self.retire_hooks:
+                hook(record)
 
 
 def run_program(

@@ -16,7 +16,7 @@ from ..isa.instructions import AluKind, FloatKind, MulKind
 from ..isa.operands import Cond, Imm, IndexMode, Operand2, Reg, ShiftedReg, ShiftKind
 
 
-@dataclass
+@dataclass(slots=True)
 class Flags:
     """The NZCV condition flags."""
 
@@ -75,12 +75,14 @@ def alu_compute(kind: AluKind, a: int, b: int) -> int:
         return a ^ b
     if kind is AluKind.BIC:
         return a & to_u32(~b)
+    # ARM shift-by-register semantics: only the bottom byte of the shift
+    # amount participates (DDI 0406, A8.4.1), so 0x100 shifts by 0, not 255
     if kind is AluKind.LSL:
-        return apply_shift(a, ShiftKind.LSL, b & 0xFF if b < 256 else 255)
+        return apply_shift(a, ShiftKind.LSL, b & 0xFF)
     if kind is AluKind.LSR:
-        return apply_shift(a, ShiftKind.LSR, b & 0xFF if b < 256 else 255)
+        return apply_shift(a, ShiftKind.LSR, b & 0xFF)
     if kind is AluKind.ASR:
-        return apply_shift(a, ShiftKind.ASR, b & 0xFF if b < 256 else 255)
+        return apply_shift(a, ShiftKind.ASR, b & 0xFF)
     if kind is AluKind.MIN:
         return to_u32(min(to_s32(a), to_s32(b)))
     if kind is AluKind.MAX:

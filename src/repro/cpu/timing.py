@@ -175,6 +175,48 @@ class TimingModel:
             self._slot_cycle = -1
             self._slots_used = 0
 
+    def charge_scalar_decoded(
+        self,
+        op,
+        mem_latency: int = 0,
+        mispredicted: bool = False,
+    ) -> None:
+        """Account one retired scalar instruction from its predecoded form.
+
+        Cycle-for-cycle identical to :meth:`charge_scalar`; the difference is
+        purely that the register sets, latency and flag behaviour arrive
+        precomputed on the :class:`~repro.cpu.predecode.DecodedOp` instead of
+        being re-derived from the instruction object on every retirement.
+        """
+        self.stats.scalar_instructions += 1
+        ready = self._reg_ready
+        earliest = 0
+        for i in op.read_idx:
+            t = ready[i]
+            if t > earliest:
+                earliest = t
+        if op.reads_flags and self._flags_ready > earliest:
+            earliest = self._flags_ready
+        issue = self._issue_slot(earliest)
+        completion = issue + op.latency + mem_latency
+        if mem_latency:
+            self.stats.memory_stall_cycles += mem_latency
+        wb = op.wb_index
+        for i in op.write_idx:
+            # address-generation writeback (post/pre-index) resolves early,
+            # so pointer-bump loops do not serialize on cache misses
+            ready[i] = issue + 1 if i == wb else completion
+        if op.sets_flags:
+            self._flags_ready = completion
+        if completion > self._last_completion:
+            self._last_completion = completion
+        if mispredicted:
+            self.stats.branch_mispredicts += 1
+            bubble = issue + 1 + self.config.mispredict_penalty
+            self._now = max(self._now, bubble)
+            self._slot_cycle = -1
+            self._slots_used = 0
+
     # ------------------------------------------------------------------
     # vector path (decoupled NEON pipeline)
     # ------------------------------------------------------------------
@@ -237,6 +279,41 @@ class TimingModel:
             # data return, so pointer-bump chains do not serialize on misses
             self._reg_ready[r.index] = start + 1 if instr.is_load or instr.is_store else completion
         self._last_completion = max(self._last_completion, completion)
+
+    def charge_vector_decoded(self, op, mem_latency: int = 0) -> None:
+        """Predecoded twin of :meth:`charge_vector` — identical accounting,
+        with the register sets and latency read off the decoded op."""
+        self.stats.vector_instructions += 1
+        ready = self._reg_ready
+        earliest = 0
+        for i in op.read_idx:
+            t = ready[i]
+            if t > earliest:
+                earliest = t
+        dispatch = self._issue_slot(earliest)
+        start = max(dispatch, self._neon_next_issue)
+        q_ready = self._q_ready
+        for i in op.q_read_idx:
+            t = q_ready[i]
+            if t > start:
+                start = t
+        if not self._neon_burst_open:
+            start += self.config.vector.pipeline_depth
+            self._neon_burst_open = True
+        if mem_latency:
+            self.stats.memory_stall_cycles += mem_latency
+        # one operation enters the NEON pipeline per cycle; memory latency
+        # overlaps with later operations (only RAW dependents wait for it)
+        self._neon_next_issue = start + 1
+        completion = start + op.latency + mem_latency
+        for i in op.q_write_idx:
+            q_ready[i] = completion
+        for i in op.write_idx:
+            # base-register writeback resolves at address generation, not at
+            # data return, so pointer-bump chains do not serialize on misses
+            ready[i] = start + 1 if op.v_is_mem else completion
+        if completion > self._last_completion:
+            self._last_completion = completion
 
     def end_vector_burst(self) -> None:
         """Mark the end of a NEON burst; the next one pays the fill again."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from ..isa.instructions import Instruction
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemAccess:
     """One data-memory access performed by an instruction."""
 
@@ -23,7 +23,7 @@ class MemAccess:
     is_write: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One retired instruction."""
 

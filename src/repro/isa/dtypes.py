@@ -45,12 +45,12 @@ class DType(Enum):
     # ------------------------------------------------------------------
     @property
     def bits(self) -> int:
-        return {"8": 8, "16": 16, "32": 32, "64": 64}[self.value.lstrip("iuf")]
+        return _BITS[self]
 
     @property
     def size(self) -> int:
         """Element size in bytes."""
-        return self.bits // 8
+        return _BITS[self] // 8
 
     @property
     def lanes(self) -> int:
@@ -122,6 +122,11 @@ class DType(Enum):
         fmt = {1: "B", 2: "H", 4: "I", 8: "Q"}[self.size]
         return self.wrap(struct.unpack("<" + fmt, raw)[0])
 
+    def unpack_from(self, buffer, offset: int = 0) -> int | float:
+        """Like :meth:`unpack` but straight out of a buffer, with no
+        intermediate ``bytes`` copy — the memory model's hot read path."""
+        return _UNPACKERS[self](buffer, offset)
+
     @classmethod
     def from_suffix(cls, suffix: str) -> "DType":
         """Parse an instruction suffix such as ``i32`` or ``f32``."""
@@ -132,6 +137,33 @@ class DType(Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+#: per-member geometry caches — enum properties are hot in the interpreter,
+#: so the dict lookup replaces string slicing on every access
+_BITS: dict[DType, int] = {m: int(m.value.lstrip("iuf")) for m in DType}
+
+
+def _make_unpacker(dtype: DType):
+    if dtype.is_float:
+        unpack_f32 = struct.Struct("<f").unpack_from
+        return lambda buffer, offset=0: unpack_f32(buffer, offset)[0]
+    fmt = {1: "B", 2: "H", 4: "I", 8: "Q"}[dtype.size]
+    unpack_uint = struct.Struct("<" + fmt).unpack_from
+    if not dtype.is_signed:
+        return lambda buffer, offset=0: unpack_uint(buffer, offset)[0]
+    sign_bit = 1 << (dtype.bits - 1)
+    wrap = 1 << dtype.bits
+
+    def unpack_signed(buffer, offset=0):
+        v = unpack_uint(buffer, offset)[0]
+        return v - wrap if v >= sign_bit else v
+
+    return unpack_signed
+
+
+#: precompiled little-endian unpackers, one per member (no bytes copies)
+_UNPACKERS = {m: _make_unpacker(m) for m in DType}
 
 
 @dataclass(frozen=True)

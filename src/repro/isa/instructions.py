@@ -46,6 +46,15 @@ class Instruction:
     def regs_written(self) -> frozenset[Reg]:
         return frozenset()
 
+    # -- decode metadata (consumed by the predecode layer) --------------
+    def read_indices(self) -> tuple[int, ...]:
+        """Indices of the core registers read, sorted ascending."""
+        return tuple(sorted(r.index for r in self.regs_read()))
+
+    def write_indices(self) -> tuple[int, ...]:
+        """Indices of the core registers written, sorted ascending."""
+        return tuple(sorted(r.index for r in self.regs_written()))
+
 
 def _operand2_reads(op2: Operand2) -> frozenset[Reg]:
     if isinstance(op2, Reg):

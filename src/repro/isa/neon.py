@@ -34,6 +34,15 @@ class VInstr(Instruction):
     def qregs_written(self) -> frozenset[QReg]:
         return frozenset()
 
+    # -- decode metadata (consumed by the predecode layer) --------------
+    def qread_indices(self) -> tuple[int, ...]:
+        """Indices of the Q registers read, sorted ascending."""
+        return tuple(sorted(q.index for q in self.qregs_read()))
+
+    def qwrite_indices(self) -> tuple[int, ...]:
+        """Indices of the Q registers written, sorted ascending."""
+        return tuple(sorted(q.index for q in self.qregs_written()))
+
 
 @dataclass(frozen=True)
 class VLoad(VInstr):

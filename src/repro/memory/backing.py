@@ -42,11 +42,24 @@ class MainMemory:
         self._check(addr, len(data))
         self._data[addr : addr + len(data)] = data
 
+    def view(self, addr: int, nbytes: int) -> np.ndarray:
+        """A zero-copy, read-only uint8 view of ``nbytes`` at ``addr``.
+
+        The view aliases live memory: it reflects later writes until the
+        caller copies it.  Hot paths (NEON loads) use this to avoid the
+        ``bytes`` round-trip that :meth:`read` pays.
+        """
+        self._check(addr, nbytes)
+        arr = np.frombuffer(self._data, dtype=np.uint8, count=nbytes, offset=addr)
+        arr.flags.writeable = False
+        return arr
+
     # ------------------------------------------------------------------
     # typed element access
     # ------------------------------------------------------------------
     def read_value(self, addr: int, dtype: DType) -> int | float:
-        return dtype.unpack(self.read(addr, dtype.size))
+        self._check(addr, dtype.size)
+        return dtype.unpack_from(self._data, addr)
 
     def write_value(self, addr: int, value: int | float, dtype: DType) -> None:
         self.write(addr, dtype.pack(value))
@@ -59,8 +72,8 @@ class MainMemory:
         self.write(addr, raw)
 
     def read_array(self, addr: int, dtype: DType, count: int) -> np.ndarray:
-        raw = self.read(addr, dtype.size * count)
-        return np.frombuffer(raw, dtype=dtype.numpy).copy()
+        self._check(addr, dtype.size * count)
+        return np.frombuffer(self._data, dtype=dtype.numpy, count=count, offset=addr).copy()
 
     def snapshot(self) -> bytes:
         """A copy of the whole memory image (for functional-equivalence tests)."""

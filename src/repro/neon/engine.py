@@ -53,7 +53,7 @@ class NeonStats:
         self.bytes_loaded = self.bytes_stored = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VMemEvent:
     """A data-memory access performed by a vector instruction."""
 
@@ -87,6 +87,139 @@ class NeonEngine:
         self.stats.reset()
 
     # ------------------------------------------------------------------
+    # per-class handlers (dispatched through _DISPATCH below; each returns
+    # the memory event it performed, or None for register-only operations)
+    # ------------------------------------------------------------------
+    def _exec_vload(self, instr: VLoad, regs, memory) -> VMemEvent:
+        addr = regs[instr.base.index]
+        # zero-copy view + one materializing copy (the old read() path paid
+        # a bytes round-trip *and* a frombuffer copy per 16-byte load)
+        self.q[instr.qd.index] = memory.view(addr, NEON_WIDTH_BYTES).copy()
+        if instr.writeback:
+            regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
+        self.stats.mem_ops += 1
+        self.stats.bytes_loaded += NEON_WIDTH_BYTES
+        return VMemEvent(addr, NEON_WIDTH_BYTES, False)
+
+    def _exec_vstore(self, instr: VStore, regs, memory) -> VMemEvent:
+        addr = regs[instr.base.index]
+        memory.write(addr, self.q[instr.qs.index].tobytes())
+        if instr.writeback:
+            regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
+        self.stats.mem_ops += 1
+        self.stats.bytes_stored += NEON_WIDTH_BYTES
+        return VMemEvent(addr, NEON_WIDTH_BYTES, True)
+
+    def _exec_vload_lane(self, instr: VLoadLane, regs, memory) -> VMemEvent:
+        addr = regs[instr.base.index]
+        value = memory.read_value(addr, instr.dtype)
+        self.q[instr.qd.index] = lanes.lane_set(
+            self.q[instr.qd.index], instr.lane, value, instr.dtype
+        )
+        if instr.writeback:
+            regs[instr.base.index] = to_u32(addr + instr.dtype.size)
+        self.stats.mem_ops += 1
+        self.stats.bytes_loaded += instr.dtype.size
+        return VMemEvent(addr, instr.dtype.size, False)
+
+    def _exec_vstore_lane(self, instr: VStoreLane, regs, memory) -> VMemEvent:
+        addr = regs[instr.base.index]
+        value = lanes.lane_get(self.q[instr.qs.index], instr.lane, instr.dtype)
+        memory.write_value(addr, value, instr.dtype)
+        if instr.writeback:
+            regs[instr.base.index] = to_u32(addr + instr.dtype.size)
+        self.stats.mem_ops += 1
+        self.stats.bytes_stored += instr.dtype.size
+        return VMemEvent(addr, instr.dtype.size, True)
+
+    def _exec_vbinop(self, instr: VBinOp, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.binop(
+            instr.kind, self.q[instr.qn.index], self.q[instr.qm.index], instr.dtype
+        )
+        self.stats.arith_ops += 1
+
+    def _exec_vmla(self, instr: VMla, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.mla(
+            self.q[instr.qd.index],
+            self.q[instr.qn.index],
+            self.q[instr.qm.index],
+            instr.dtype,
+        )
+        self.stats.arith_ops += 1
+
+    def _exec_vshift(self, instr: VShiftImm, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.shift(
+            instr.kind is VShiftKind.VSHL,
+            self.q[instr.qn.index],
+            instr.amount,
+            instr.dtype,
+        )
+        self.stats.arith_ops += 1
+
+    def _exec_vunary(self, instr: VUnary, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.unary(instr.kind, self.q[instr.qn.index], instr.dtype)
+        self.stats.arith_ops += 1
+
+    def _exec_vdup(self, instr: VDup, regs, memory) -> None:
+        raw = regs[instr.rn.index]
+        value = bits_to_float(raw) if instr.dtype.is_float else raw
+        self.q[instr.qd.index] = lanes.broadcast(value, instr.dtype)
+        self.stats.lane_ops += 1
+
+    def _exec_vdup_imm(self, instr: VDupImm, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.broadcast(instr.value, instr.dtype)
+        self.stats.lane_ops += 1
+
+    def _exec_vcmp(self, instr: VCmp, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.compare(
+            instr.kind, self.q[instr.qn.index], self.q[instr.qm.index], instr.dtype
+        )
+        self.stats.arith_ops += 1
+
+    def _exec_vbsl(self, instr: VBsl, regs, memory) -> None:
+        self.q[instr.qd.index] = lanes.bitwise_select(
+            self.q[instr.qd.index], self.q[instr.qn.index], self.q[instr.qm.index]
+        )
+        self.stats.arith_ops += 1
+
+    def _exec_vmovq(self, instr: VMovQ, regs, memory) -> None:
+        self.q[instr.qd.index] = self.q[instr.qm.index].copy()
+        self.stats.lane_ops += 1
+
+    def _exec_vmov_to_core(self, instr: VMovToCore, regs, memory) -> None:
+        value = lanes.lane_get(self.q[instr.qn.index], instr.lane, instr.dtype)
+        regs[instr.rd.index] = (
+            float_to_bits(value) if instr.dtype.is_float else to_u32(int(value))
+        )
+        self.stats.lane_ops += 1
+
+    def _exec_vmov_from_core(self, instr: VMovFromCore, regs, memory) -> None:
+        raw = regs[instr.rn.index]
+        value = bits_to_float(raw) if instr.dtype.is_float else raw
+        self.q[instr.qd.index] = lanes.lane_set(
+            self.q[instr.qd.index], instr.lane, value, instr.dtype
+        )
+        self.stats.lane_ops += 1
+
+    #: type-keyed dispatch — one dict probe replaces the isinstance ladder
+    _DISPATCH = {
+        VLoad: _exec_vload,
+        VStore: _exec_vstore,
+        VLoadLane: _exec_vload_lane,
+        VStoreLane: _exec_vstore_lane,
+        VBinOp: _exec_vbinop,
+        VMla: _exec_vmla,
+        VShiftImm: _exec_vshift,
+        VUnary: _exec_vunary,
+        VDup: _exec_vdup,
+        VDupImm: _exec_vdup_imm,
+        VCmp: _exec_vcmp,
+        VBsl: _exec_vbsl,
+        VMovQ: _exec_vmovq,
+        VMovToCore: _exec_vmov_to_core,
+        VMovFromCore: _exec_vmov_from_core,
+    }
+
     def execute(
         self, instr: VInstr, regs: list[int], memory: MainMemory
     ) -> list[VMemEvent]:
@@ -96,107 +229,13 @@ class NeonEngine:
         on vector->core moves).  Returns the memory events performed, for the
         timing model and the cache hierarchy.
         """
-        events: list[VMemEvent] = []
-        if isinstance(instr, VLoad):
-            addr = regs[instr.base.index]
-            raw = memory.read(addr, NEON_WIDTH_BYTES)
-            self.q[instr.qd.index] = np.frombuffer(raw, dtype=np.uint8).copy()
-            if instr.writeback:
-                regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
-            events.append(VMemEvent(addr, NEON_WIDTH_BYTES, False))
-            self.stats.mem_ops += 1
-            self.stats.bytes_loaded += NEON_WIDTH_BYTES
-        elif isinstance(instr, VStore):
-            addr = regs[instr.base.index]
-            memory.write(addr, self.q[instr.qs.index].tobytes())
-            if instr.writeback:
-                regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
-            events.append(VMemEvent(addr, NEON_WIDTH_BYTES, True))
-            self.stats.mem_ops += 1
-            self.stats.bytes_stored += NEON_WIDTH_BYTES
-        elif isinstance(instr, VLoadLane):
-            addr = regs[instr.base.index]
-            value = memory.read_value(addr, instr.dtype)
-            self.q[instr.qd.index] = lanes.lane_set(
-                self.q[instr.qd.index], instr.lane, value, instr.dtype
-            )
-            if instr.writeback:
-                regs[instr.base.index] = to_u32(addr + instr.dtype.size)
-            events.append(VMemEvent(addr, instr.dtype.size, False))
-            self.stats.mem_ops += 1
-            self.stats.bytes_loaded += instr.dtype.size
-        elif isinstance(instr, VStoreLane):
-            addr = regs[instr.base.index]
-            value = lanes.lane_get(self.q[instr.qs.index], instr.lane, instr.dtype)
-            memory.write_value(addr, value, instr.dtype)
-            if instr.writeback:
-                regs[instr.base.index] = to_u32(addr + instr.dtype.size)
-            events.append(VMemEvent(addr, instr.dtype.size, True))
-            self.stats.mem_ops += 1
-            self.stats.bytes_stored += instr.dtype.size
-        elif isinstance(instr, VBinOp):
-            self.q[instr.qd.index] = lanes.binop(
-                instr.kind, self.q[instr.qn.index], self.q[instr.qm.index], instr.dtype
-            )
-            self.stats.arith_ops += 1
-        elif isinstance(instr, VMla):
-            self.q[instr.qd.index] = lanes.mla(
-                self.q[instr.qd.index],
-                self.q[instr.qn.index],
-                self.q[instr.qm.index],
-                instr.dtype,
-            )
-            self.stats.arith_ops += 1
-        elif isinstance(instr, VShiftImm):
-            self.q[instr.qd.index] = lanes.shift(
-                instr.kind is VShiftKind.VSHL,
-                self.q[instr.qn.index],
-                instr.amount,
-                instr.dtype,
-            )
-            self.stats.arith_ops += 1
-        elif isinstance(instr, VUnary):
-            self.q[instr.qd.index] = lanes.unary(instr.kind, self.q[instr.qn.index], instr.dtype)
-            self.stats.arith_ops += 1
-        elif isinstance(instr, VDup):
-            raw = regs[instr.rn.index]
-            value = bits_to_float(raw) if instr.dtype.is_float else raw
-            self.q[instr.qd.index] = lanes.broadcast(value, instr.dtype)
-            self.stats.lane_ops += 1
-        elif isinstance(instr, VDupImm):
-            self.q[instr.qd.index] = lanes.broadcast(instr.value, instr.dtype)
-            self.stats.lane_ops += 1
-        elif isinstance(instr, VCmp):
-            self.q[instr.qd.index] = lanes.compare(
-                instr.kind, self.q[instr.qn.index], self.q[instr.qm.index], instr.dtype
-            )
-            self.stats.arith_ops += 1
-        elif isinstance(instr, VBsl):
-            self.q[instr.qd.index] = lanes.bitwise_select(
-                self.q[instr.qd.index], self.q[instr.qn.index], self.q[instr.qm.index]
-            )
-            self.stats.arith_ops += 1
-        elif isinstance(instr, VMovQ):
-            self.q[instr.qd.index] = self.q[instr.qm.index].copy()
-            self.stats.lane_ops += 1
-        elif isinstance(instr, VMovToCore):
-            value = lanes.lane_get(self.q[instr.qn.index], instr.lane, instr.dtype)
-            regs[instr.rd.index] = (
-                float_to_bits(value) if instr.dtype.is_float else to_u32(int(value))
-            )
-            self.stats.lane_ops += 1
-        elif isinstance(instr, VMovFromCore):
-            raw = regs[instr.rn.index]
-            value = bits_to_float(raw) if instr.dtype.is_float else raw
-            self.q[instr.qd.index] = lanes.lane_set(
-                self.q[instr.qd.index], instr.lane, value, instr.dtype
-            )
-            self.stats.lane_ops += 1
-        else:
+        handler = self._DISPATCH.get(type(instr))
+        if handler is None:
             raise ExecutionError(f"unknown vector instruction {instr!r}")
+        event = handler(self, instr, regs, memory)
         if self.fault_hook is not None:
             self.fault_hook(instr, self.q)
-        return events
+        return [event] if event is not None else []
 
     # ------------------------------------------------------------------
     def run(

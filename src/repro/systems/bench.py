@@ -1,0 +1,246 @@
+"""Simulator-throughput benchmark harness (``repro bench``).
+
+Measures how fast the *host* simulates — guest instructions retired per
+host second — which is the quantity the predecode fast path exists to
+improve.  This is observability for the simulator itself, deliberately
+separate from the architectural results: nothing here participates in
+result identity or the on-disk cache (every bench run simulates live).
+
+The report is written as ``BENCH_sim_throughput.json``; a committed copy
+at the repo root serves as the regression baseline CI checks (non-gating)
+with ``repro bench --check-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+
+from ..cpu.config import DEFAULT_CPU_CONFIG, CPUConfig
+from ..errors import ConfigError
+from .campaign import RunSpec, execute_spec
+from .result_cache import code_fingerprint
+
+#: schema version of the JSON report
+BENCH_VERSION = 1
+
+#: the default bench matrix: one high-DLP, one medium, one low workload on
+#: every system keeps the run under a minute while touching both run loops
+#: (record-free fast path and the traced DSA path)
+DEFAULT_WORKLOADS = ("matmul", "rgb_gray", "bitcount")
+QUICK_WORKLOADS = ("matmul", "rgb_gray")
+QUICK_SYSTEMS = ("arm_original", "neon_dsa")
+
+
+@dataclass
+class BenchRun:
+    """Throughput of one (workload, system) simulation."""
+
+    label: str
+    workload: str
+    system: str
+    instructions: int
+    cycles: int
+    host_seconds: float          # best of ``repeats`` (least-noise estimate)
+    guest_mips: float
+    legacy_host_seconds: float | None = None   # with predecode=False
+    speedup: float | None = None               # legacy / predecoded
+
+    def to_dict(self) -> dict:
+        d = {
+            "label": self.label,
+            "workload": self.workload,
+            "system": self.system,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "host_seconds": round(self.host_seconds, 6),
+            "guest_mips": round(self.guest_mips, 4),
+        }
+        if self.legacy_host_seconds is not None:
+            d["legacy_host_seconds"] = round(self.legacy_host_seconds, 6)
+            d["speedup"] = round(self.speedup, 3)
+        return d
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro bench`` invocation measured."""
+
+    scale: str
+    repeats: int
+    runs: list[BenchRun] = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.instructions for r in self.runs)
+
+    @property
+    def total_host_seconds(self) -> float:
+        return sum(r.host_seconds for r in self.runs)
+
+    @property
+    def aggregate_mips(self) -> float:
+        secs = self.total_host_seconds
+        return self.total_instructions / secs / 1e6 if secs > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "bench_version": BENCH_VERSION,
+            "code_fingerprint": code_fingerprint(),
+            "python": platform.python_version(),
+            "scale": self.scale,
+            "repeats": self.repeats,
+            "aggregate": {
+                "instructions": self.total_instructions,
+                "host_seconds": round(self.total_host_seconds, 6),
+                "guest_mips": round(self.aggregate_mips, 4),
+            },
+            "runs": [r.to_dict() for r in self.runs],
+        }
+
+    def table(self) -> str:
+        header = ["workload", "system", "instructions", "host_s", "mips"]
+        compare = any(r.speedup is not None for r in self.runs)
+        if compare:
+            header += ["legacy_s", "speedup"]
+        rows = []
+        for r in self.runs:
+            row = [
+                r.workload,
+                r.system,
+                str(r.instructions),
+                f"{r.host_seconds:.3f}",
+                f"{r.guest_mips:.2f}",
+            ]
+            if compare:
+                row += [
+                    f"{r.legacy_host_seconds:.3f}" if r.legacy_host_seconds is not None else "-",
+                    f"{r.speedup:.2f}x" if r.speedup is not None else "-",
+                ]
+            rows.append(row)
+        widths = [
+            max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines += ["  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows]
+        lines.append(
+            f"aggregate: {self.total_instructions} guest instructions in "
+            f"{self.total_host_seconds:.2f}s host = {self.aggregate_mips:.2f} MIPS"
+        )
+        return "\n".join(lines)
+
+
+def _time_spec(spec: RunSpec, config: CPUConfig, repeats: int) -> tuple[float, int, int]:
+    """Best-of-N wall time of one live (uncached) simulation."""
+    best = float("inf")
+    instructions = cycles = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = execute_spec(spec, cpu_config=config)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        instructions, cycles = result.instructions, result.cycles
+    return best, instructions, cycles
+
+
+def run_bench(
+    scale: str = "test",
+    repeats: int = 3,
+    workloads: tuple[str, ...] | list[str] = DEFAULT_WORKLOADS,
+    systems: tuple[str, ...] | list[str] | None = None,
+    compare_legacy: bool = False,
+    quick: bool = False,
+    progress=None,
+) -> BenchReport:
+    """Measure simulator throughput over a (workload × system) matrix.
+
+    Every simulation runs live and inline — no disk cache, no worker
+    processes — so the numbers measure the interpreter, not the campaign
+    plumbing.  ``compare_legacy`` additionally times each spec with
+    ``CPUConfig.predecode=False`` and reports the speedup.
+    """
+    from .setups import SYSTEM_NAMES
+
+    if repeats < 1:
+        raise ConfigError("bench repeats must be at least 1")
+    if quick:
+        workloads = QUICK_WORKLOADS
+        systems = QUICK_SYSTEMS
+        repeats = min(repeats, 1)
+    if systems is None:
+        systems = SYSTEM_NAMES
+    for system in systems:
+        if system not in SYSTEM_NAMES:
+            raise ConfigError(f"unknown system {system!r}; pick one of {SYSTEM_NAMES}")
+
+    predecoded = DEFAULT_CPU_CONFIG
+    legacy = CPUConfig(predecode=False)
+    report = BenchReport(scale=scale, repeats=repeats)
+    for workload in workloads:
+        for system in systems:
+            spec = RunSpec(workload=workload, system=system, scale=scale)
+            if progress is not None:
+                progress(spec.label)
+            host, instructions, cycles = _time_spec(spec, predecoded, repeats)
+            run = BenchRun(
+                label=spec.label,
+                workload=workload,
+                system=system,
+                instructions=instructions,
+                cycles=cycles,
+                host_seconds=host,
+                guest_mips=instructions / host / 1e6 if host > 0 else 0.0,
+            )
+            if compare_legacy:
+                legacy_host, _, _ = _time_spec(spec, legacy, repeats)
+                run.legacy_host_seconds = legacy_host
+                run.speedup = legacy_host / host if host > 0 else 0.0
+            report.runs.append(run)
+    return report
+
+
+def check_baseline(report: BenchReport, baseline: dict, tolerance: float = 0.25) -> list[str]:
+    """Compare a fresh report against a committed baseline record.
+
+    Returns a list of regression messages (empty = within tolerance).  Only
+    slowdowns count: being faster than the baseline is never a failure.
+    The aggregate is the gating number; per-run regressions are listed for
+    diagnosis but only flagged at twice the tolerance, since small kernels
+    are noisy.
+    """
+    if not 0 < tolerance < 1:
+        raise ConfigError("tolerance must be in (0, 1)")
+    problems: list[str] = []
+    base_aggregate = float(baseline.get("aggregate", {}).get("guest_mips", 0.0))
+    if base_aggregate > 0 and report.aggregate_mips < base_aggregate * (1 - tolerance):
+        problems.append(
+            f"aggregate throughput regressed: {report.aggregate_mips:.2f} MIPS vs "
+            f"baseline {base_aggregate:.2f} MIPS (tolerance {tolerance:.0%})"
+        )
+    base_runs = {r.get("label"): r for r in baseline.get("runs", [])}
+    for run in report.runs:
+        base = base_runs.get(run.label)
+        if base is None:
+            continue
+        base_mips = float(base.get("guest_mips", 0.0))
+        if base_mips > 0 and run.guest_mips < base_mips * (1 - 2 * tolerance):
+            problems.append(
+                f"{run.label}: {run.guest_mips:.2f} MIPS vs baseline {base_mips:.2f} MIPS"
+            )
+    return problems
+
+
+def load_baseline(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        raise ConfigError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file {path} is not valid JSON: {exc}") from None
+    if not isinstance(baseline, dict) or "aggregate" not in baseline:
+        raise ConfigError(f"baseline file {path} is not a bench report")
+    return baseline

@@ -216,7 +216,7 @@ class CampaignResult:
         }
 
     def summary_table(self) -> str:
-        header = ["workload", "system", "stage", "cycles", "source", "fallbacks", "wall_s"]
+        header = ["workload", "system", "stage", "cycles", "source", "fallbacks", "wall_s", "mips"]
         rows = [
             [
                 m.spec["workload"],
@@ -226,6 +226,7 @@ class CampaignResult:
                 m.source,
                 str(m.fallbacks),
                 f"{m.wall_time_s:.3f}",
+                f"{m.guest_mips:.2f}" if m.guest_mips else "-",
             ]
             for m in self.metrics
         ]

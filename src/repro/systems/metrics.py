@@ -125,6 +125,8 @@ class RunMetrics:
     stall_breakdown: dict[str, int]  # TimingStats counters
     dsa_counters: dict | None        # DSA stage activations, if a DSA ran
     fallbacks: int = 0               # guarded-execution scalar rollbacks
+    host_seconds: float = 0.0        # host compute time; 0.0 for cache hits
+    guest_mips: float = 0.0          # guest MIPS of a live run; 0.0 for hits
 
     @property
     def cache_hit(self) -> bool:
@@ -132,6 +134,13 @@ class RunMetrics:
 
     @classmethod
     def for_run(cls, spec_dict: dict, result: RunResult, source: str, wall_time_s: float) -> "RunMetrics":
+        # Host-side throughput is observability, never result identity: a
+        # cache hit did no simulation, so it reports 0.0 — which is also
+        # what makes hits distinguishable from live runs in reports.
+        host_seconds = wall_time_s if source == "computed" else 0.0
+        guest_mips = (
+            result.instructions / host_seconds / 1e6 if host_seconds > 0 else 0.0
+        )
         return cls(
             spec=spec_dict,
             source=source,
@@ -141,6 +150,8 @@ class RunMetrics:
             stall_breakdown=dict(result.timing_stats),
             dsa_counters=dict(result.dsa_stats.stage_activations) if result.dsa_stats else None,
             fallbacks=result.dsa_stats.fallbacks if result.dsa_stats else 0,
+            host_seconds=host_seconds,
+            guest_mips=guest_mips,
         )
 
     def to_dict(self) -> dict:
@@ -154,6 +165,8 @@ class RunMetrics:
             "stall_breakdown": self.stall_breakdown,
             "dsa_counters": self.dsa_counters,
             "fallbacks": self.fallbacks,
+            "host_seconds": round(self.host_seconds, 6),
+            "guest_mips": round(self.guest_mips, 4),
         }
 
 

@@ -1,0 +1,45 @@
+"""Regenerate tests/cpu/golden_microkernels.json.
+
+Run ONLY after an intentional architectural-model change (latencies, cache
+geometry, DSA policy, energy inputs...) — never to paper over an identity
+failure you can't explain:
+
+    PYTHONPATH=src python tests/cpu/regen_golden_microkernels.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.cpu.config import CPUConfig
+from repro.systems.campaign import RunSpec, execute_spec
+from repro.workloads.synthetic import LOOP_TYPE_MICROKERNELS
+
+OUT = Path(__file__).with_name("golden_microkernels.json")
+
+
+def main() -> None:
+    golden = {
+        "_note": (
+            "Golden RunResult snapshot of every loop-type microkernel on "
+            "neon_dsa (seed=3, scale=test, predecode on). Regenerate ONLY on "
+            "an intentional architectural-model change: "
+            "PYTHONPATH=src python tests/cpu/regen_golden_microkernels.py"
+        ),
+    }
+    for kind in sorted(LOOP_TYPE_MICROKERNELS):
+        spec = RunSpec(f"micro:{kind}", "neon_dsa", seed=3)
+        d = execute_spec(spec, cpu_config=CPUConfig(predecode=True)).to_dict()
+        golden[f"micro:{kind}"] = {
+            "cycles": d["cycles"],
+            "instructions": d["instructions"],
+            "digest": hashlib.sha256(
+                json.dumps(d, sort_keys=True).encode()
+            ).hexdigest(),
+        }
+    OUT.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT} ({len(golden) - 1} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -202,3 +202,41 @@ class TestLoadExtension:
         from repro.isa.dtypes import DType
 
         assert load_to_register(1.0, DType.F32) == float_to_bits(1.0)
+
+
+class TestShiftByRegisterClamp:
+    """ARM shift-by-register semantics (DDI 0406, A8.4.1): only the bottom
+    byte of the shift amount participates — so 256 shifts by 0, not 255."""
+
+    @pytest.mark.parametrize("kind", [AluKind.LSL, AluKind.LSR, AluKind.ASR])
+    def test_amount_zero_is_identity(self, kind):
+        assert alu_compute(kind, 0xDEADBEEF, 0) == 0xDEADBEEF
+
+    def test_amount_31(self):
+        assert alu_compute(AluKind.LSL, 1, 31) == 0x80000000
+        assert alu_compute(AluKind.LSR, 0x80000000, 31) == 1
+        assert alu_compute(AluKind.ASR, 0x80000000, 31) == 0xFFFFFFFF
+        assert alu_compute(AluKind.ASR, 0x7FFFFFFF, 31) == 0
+
+    def test_amount_32_clears_or_saturates_sign(self):
+        assert alu_compute(AluKind.LSL, 0xFFFFFFFF, 32) == 0
+        assert alu_compute(AluKind.LSR, 0xFFFFFFFF, 32) == 0
+        # ASR saturates at the sign bit rather than clearing
+        assert alu_compute(AluKind.ASR, 0x80000000, 32) == 0xFFFFFFFF
+        assert alu_compute(AluKind.ASR, 0x7FFFFFFF, 32) == 0
+
+    def test_amount_255_behaves_like_over_32(self):
+        assert alu_compute(AluKind.LSL, 0xFFFFFFFF, 255) == 0
+        assert alu_compute(AluKind.LSR, 0xFFFFFFFF, 255) == 0
+        assert alu_compute(AluKind.ASR, 0x80000000, 255) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("kind", [AluKind.LSL, AluKind.LSR, AluKind.ASR])
+    def test_amount_256_wraps_to_zero_shift(self, kind):
+        # the historical bug clamped 256 to a 255-bit shift (result 0);
+        # hardware sees the bottom byte 0x00 and shifts by nothing
+        assert alu_compute(kind, 0x89ABCDEF, 256) == 0x89ABCDEF
+        assert alu_compute(kind, 0x89ABCDEF, 0x100) == 0x89ABCDEF
+
+    def test_amount_257_shifts_by_one(self):
+        assert alu_compute(AluKind.LSL, 1, 257) == 2
+        assert alu_compute(AluKind.LSR, 2, 0x101) == 1

@@ -1,0 +1,168 @@
+"""Golden byte-identity: the predecoded fast path vs the legacy interpreter.
+
+``CPUConfig.predecode`` selects between two implementations of the same
+architecture; everything observable — cycles, instruction counts, cache
+stats, timing stats, energy inputs, DSA behaviour, the TraceRecord stream,
+error messages — must be identical bit for bit.  The legacy interpreter is
+kept for one release precisely so this suite can keep comparing against
+it; the committed golden snapshot additionally pins the predecoded results
+so both paths cannot silently drift together.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cpu import Core
+from repro.cpu.config import CPUConfig
+from repro.errors import ExecutionError
+from repro.isa import assemble
+from repro.memory import MainMemory
+from repro.systems.campaign import RunSpec, execute_spec
+from repro.systems.runner import execute_kernel
+from repro.systems.setups import SYSTEM_NAMES, lower_for
+from repro.workloads import load
+from repro.workloads.synthetic import LOOP_TYPE_MICROKERNELS
+
+PREDECODED = CPUConfig(predecode=True)
+LEGACY = CPUConfig(predecode=False)
+
+GOLDEN_PATH = Path(__file__).with_name("golden_microkernels.json")
+
+MICRO_KINDS = sorted(LOOP_TYPE_MICROKERNELS)
+
+
+def result_dict(spec: RunSpec, config: CPUConfig, guard: bool = False) -> dict:
+    return execute_spec(spec, cpu_config=config, guard=guard).to_dict()
+
+
+def canonical(d: dict) -> str:
+    return json.dumps(d, sort_keys=True)
+
+
+class TestRunResultIdentity:
+    @pytest.mark.parametrize("guard", [False, True], ids=["clean", "guard"])
+    @pytest.mark.parametrize("kind", MICRO_KINDS)
+    def test_microkernel_dsa(self, kind, guard):
+        spec = RunSpec(f"micro:{kind}", "neon_dsa", seed=3)
+        a = result_dict(spec, PREDECODED, guard=guard)
+        b = result_dict(spec, LEGACY, guard=guard)
+        assert canonical(a) == canonical(b)
+
+    @pytest.mark.parametrize("system", SYSTEM_NAMES)
+    def test_paper_workload_all_systems(self, system):
+        spec = RunSpec("rgb_gray", system)
+        a = result_dict(spec, PREDECODED)
+        b = result_dict(spec, LEGACY)
+        assert canonical(a) == canonical(b)
+
+
+class TestGoldenSnapshot:
+    """The committed fixture pins the predecoded results absolutely."""
+
+    @pytest.fixture(scope="class")
+    def golden(self) -> dict:
+        return json.loads(GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("kind", MICRO_KINDS)
+    def test_microkernel_matches_fixture(self, golden, kind):
+        spec = RunSpec(f"micro:{kind}", "neon_dsa", seed=3)
+        d = result_dict(spec, PREDECODED)
+        entry = golden[f"micro:{kind}"]
+        assert d["cycles"] == entry["cycles"]
+        assert d["instructions"] == entry["instructions"]
+        digest = hashlib.sha256(canonical(d).encode()).hexdigest()
+        assert digest == entry["digest"], (
+            "predecoded RunResult drifted from the committed golden snapshot; "
+            "if the architectural model intentionally changed, regenerate "
+            "tests/cpu/golden_microkernels.json (see its '_note' field)"
+        )
+
+
+class TestTraceStreamIdentity:
+    """Retire hooks must observe the exact same TraceRecord stream."""
+
+    @staticmethod
+    def _records(lowered, workload, config: CPUConfig) -> list:
+        records = []
+        execute_kernel(
+            lowered,
+            workload.fresh_args(),
+            config=config,
+            attach=lambda core: core.retire_hooks.append(records.append),
+        )
+        return records
+
+    def test_streams_equal(self):
+        workload = load("rgb_gray", "test")
+        lowered = lower_for("arm_original", workload)
+        fast = self._records(lowered, workload, PREDECODED)
+        legacy = self._records(lowered, workload, LEGACY)
+        assert len(fast) == len(legacy)
+        for a, b in zip(fast, legacy):
+            assert (a.seq, a.pc, a.next_pc, a.branch_taken) == (
+                b.seq, b.pc, b.next_pc, b.branch_taken)
+            assert a.accesses == b.accesses
+            assert a.reg_reads == b.reg_reads
+            assert a.reg_writes == b.reg_writes
+            assert a.instr is b.instr  # the very same Program object
+
+
+def _run_both(source: str, max_instructions: int = 100_000_000):
+    outcomes = []
+    for config in (PREDECODED, LEGACY):
+        core = Core(assemble(source), MainMemory(1 << 16), config=config)
+        try:
+            result = core.run(max_instructions=max_instructions)
+            outcomes.append(("ok", result.cycles, result.instructions,
+                             tuple(core.regs), core.pc, dict(core.icounts)))
+        except ExecutionError as exc:
+            outcomes.append(("error", str(exc), core.seq, core.pc,
+                             tuple(core.regs), dict(core.icounts)))
+    return outcomes
+
+
+class TestErrorPathIdentity:
+    """Failure modes must match the legacy interpreter exactly, including
+    the error message and the architected state left behind."""
+
+    def test_fall_off_end_of_text(self):
+        fast, legacy = _run_both("mov r0, #1\nadd r0, r0, #2\n")
+        assert fast == legacy
+        assert fast[0] == "error" and "not inside the text segment" in fast[1]
+
+    def test_branch_outside_text(self):
+        fast, legacy = _run_both("mov r0, #0\nbx r0\nhalt")
+        assert fast == legacy
+        assert "0x0 is not inside the text segment" in fast[1]
+
+    def test_misaligned_branch_target(self):
+        fast, legacy = _run_both("mov r0, #4098\nbx r0\nhalt")
+        assert fast == legacy
+        assert "0x1002 is not inside the text segment" in fast[1]
+
+    def test_did_not_halt_within_limit(self):
+        source = """
+            loop:
+                add r0, r0, #1
+                b loop
+        """
+        fast, legacy = _run_both(source, max_instructions=10)
+        assert fast == legacy
+        assert fast[0] == "error" and "did not halt within 10" in fast[1]
+
+    def test_architected_state_after_success(self):
+        source = """
+                mov r0, #0
+                mov r1, #10
+            loop:
+                add r0, r0, #3
+                subs r1, r1, #1
+                bne loop
+                halt
+        """
+        fast, legacy = _run_both(source)
+        assert fast == legacy
+        assert fast[0] == "ok"

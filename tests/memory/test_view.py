@@ -1,0 +1,76 @@
+"""Zero-copy ``MainMemory.view`` semantics (the NEON load hot path)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.isa.dtypes import DType
+from repro.memory.backing import MainMemory
+
+
+class TestView:
+    def test_reflects_contents(self):
+        mem = MainMemory(1024)
+        mem.write(0x40, bytes(range(16)))
+        view = mem.view(0x40, 16)
+        assert view.dtype == np.uint8
+        assert list(view) == list(range(16))
+
+    def test_is_zero_copy_alias(self):
+        mem = MainMemory(1024)
+        view = mem.view(0x10, 4)
+        assert view[0] == 0
+        mem.write(0x10, b"\xaa\xbb\xcc\xdd")
+        # a view aliases live memory: later writes show through
+        assert list(view) == [0xAA, 0xBB, 0xCC, 0xDD]
+
+    def test_copy_detaches(self):
+        mem = MainMemory(1024)
+        mem.write(0x10, b"\x01\x02\x03\x04")
+        frozen = mem.view(0x10, 4).copy()
+        mem.write(0x10, b"\xff\xff\xff\xff")
+        assert list(frozen) == [1, 2, 3, 4]
+
+    def test_read_only(self):
+        mem = MainMemory(1024)
+        view = mem.view(0, 8)
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 1
+
+    def test_bounds_checked(self):
+        mem = MainMemory(64)
+        with pytest.raises(MemoryError_):
+            mem.view(60, 8)
+        with pytest.raises(MemoryError_):
+            mem.view(-4, 4)
+        # a view of the final bytes is fine
+        assert mem.view(56, 8).size == 8
+
+    def test_matches_read(self):
+        mem = MainMemory(256)
+        mem.write(0, bytes(i & 0xFF for i in range(256)))
+        assert mem.view(17, 100).tobytes() == mem.read(17, 100)
+
+
+class TestReadValueFastPath:
+    """read_value now unpacks straight from the backing buffer; it must
+    keep the exact wrap/sign semantics of DType.unpack."""
+
+    @pytest.mark.parametrize("dtype", list(DType))
+    def test_round_trip_matches_unpack(self, dtype):
+        mem = MainMemory(256)
+        pattern = bytes((0x80, 0xFF, 0x01, 0x7F, 0x00, 0xC3, 0x55, 0xAA))
+        mem.write(32, pattern)
+        raw = mem.read(32, dtype.size)
+        assert mem.read_value(32, dtype) == dtype.unpack(raw)
+
+    def test_signed_negative(self):
+        mem = MainMemory(64)
+        mem.write(0, b"\xff")
+        assert mem.read_value(0, DType.I8) == -1
+        assert mem.read_value(0, DType.U8) == 255
+
+    def test_float(self):
+        mem = MainMemory(64)
+        mem.write_value(8, 1.5, DType.F32)
+        assert mem.read_value(8, DType.F32) == 1.5
