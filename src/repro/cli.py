@@ -10,6 +10,8 @@ Commands
 ``workloads``    list the available benchmarks
 ``asm``          print the lowered assembly of a workload per system
 ``area``         print the DSA area table (Article 1, Table 3)
+``trace``        run one spec instrumented; export Chrome tracing / JSONL / Prometheus
+``stats``        per-loop-type DSA coverage table (paper loop taxonomy)
 
 Configuration mistakes (unknown workload, experiment, system, ...) print a
 one-line error naming the valid choices and exit with status 2 — never a
@@ -59,6 +61,7 @@ def _runner_from(args: argparse.Namespace, progress=None) -> CampaignRunner:
         retries=getattr(args, "retries", 0),
         backoff=getattr(args, "backoff", 0.5),
         resume=getattr(args, "resume", False),
+        observe=getattr(args, "observe", False),
     )
 
 
@@ -228,6 +231,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observe import (
+        Observer,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+    from .systems.campaign import execute_spec
+
+    spec = RunSpec(
+        args.workload, args.system,
+        dsa_stage=args.dsa_stage, scale=args.scale, seed=args.seed,
+    )
+    observer = Observer()
+    result = execute_spec(spec, guard=args.guard, observer=observer)
+    safe = args.workload.replace(":", "_")
+    out = args.output or f"{safe}_{args.system}.trace.json"
+    write_chrome_trace(observer, out, process_name=spec.label)
+    print(f"wrote {out} ({len(observer.events)} events, "
+          f"{len(observer.spans)} span(s)) — load it in chrome://tracing",
+          file=sys.stderr)
+    if args.jsonl:
+        write_jsonl(observer, args.jsonl)
+        print(f"wrote {args.jsonl}", file=sys.stderr)
+    if args.prom:
+        write_prometheus(
+            observer, args.prom,
+            labels={"workload": spec.workload, "system": spec.system},
+        )
+        print(f"wrote {args.prom}", file=sys.stderr)
+    profile = observer.profile()
+    print(f"{spec.label}: {result.cycles} cycles, {result.instructions} instructions")
+    for kind, count in sorted(profile.events.items()):
+        print(f"  {kind:18s} {count}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .observe import LoopCoverageReport, PAPER_LOOP_CLASSES
+    from .systems.campaign import MICRO_PREFIX
+
+    runner = _runner_from(args, progress=None if args.json else _progress)
+    specs = [
+        RunSpec(f"{MICRO_PREFIX}{kind}", "neon_dsa", args.dsa_stage, args.scale)
+        for kind in PAPER_LOOP_CLASSES
+    ]
+    outcome = runner.run(specs)
+    if outcome.failures:
+        for f in outcome.failures:
+            print(f"failed: {f.label}: {f.kind}: {f.cause}", file=sys.stderr)
+        return 3
+    results = {
+        spec.workload[len(MICRO_PREFIX):]: outcome.result_for(spec) for spec in specs
+    }
+    report = LoopCoverageReport.from_results(results)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.table())
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in PAPER_WORKLOADS:
         workload = load(name, args.scale)
@@ -296,6 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base delay between retries, doubled each attempt (default: 0.5)")
     p.add_argument("--resume", action="store_true",
                    help="serve plan-targeted specs from the disk cache instead of re-faulting them")
+    p.add_argument("--observe", action="store_true",
+                   help="attach a per-run observer; computed runs carry a profile in the JSON record")
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -351,6 +418,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", default="arm_original", choices=SYSTEM_NAMES)
     p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
     p.set_defaults(func=_cmd_asm)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one spec with the observer attached and export its trace",
+    )
+    p.add_argument("workload",
+                   help=f"one of {sorted(PAPER_WORKLOADS)} or micro:<kind>")
+    p.add_argument("system", choices=SYSTEM_NAMES)
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.add_argument("--dsa-stage", default="full", choices=tuple(DSA_STAGES))
+    p.add_argument("--seed", type=int, default=None, help="input RNG seed override")
+    p.add_argument("--guard", action="store_true",
+                   help="guarded DSA execution (guard fallbacks show up as events)")
+    p.add_argument("-o", "--output", default=None, metavar="TRACE.json",
+                   help="Chrome tracing output path (default: <workload>_<system>.trace.json)")
+    p.add_argument("--jsonl", default=None, metavar="FILE.jsonl",
+                   help="also write the raw event log as JSON lines")
+    p.add_argument("--prom", default=None, metavar="FILE.prom",
+                   help="also write Prometheus textfile counters")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="per-loop-type DSA coverage table over the paper's loop taxonomy",
+    )
+    p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
+    p.add_argument("--dsa-stage", default="full", choices=tuple(DSA_STAGES))
+    p.add_argument("--json", action="store_true", help="emit the coverage record as JSON")
+    _add_cache_flags(p)
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("area", help="DSA area table")
     p.set_defaults(func=_cmd_area)

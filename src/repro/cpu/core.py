@@ -40,6 +40,7 @@ from ..isa.operands import Cond, LR
 from ..isa.program import INSTRUCTION_BYTES, Program
 from ..memory.backing import MainMemory
 from ..memory.hierarchy import MemoryHierarchy
+from ..observe.events import EventKind
 from .config import CPUConfig, DEFAULT_CPU_CONFIG
 from .executor import (
     Flags,
@@ -103,6 +104,10 @@ class Core:
         self.icounts: Counter = Counter()
         self.retire_hooks: list[RetireHook] = []
         self.timing_suppressor: TimingSuppressor | None = None
+        #: optional repro.observe.Observer — run() wraps the whole simulation
+        #: in one "core.run" span and emits RUN_BEGIN/RUN_END; never consulted
+        #: inside the retire loops, so the traced-vs-fast choice is unchanged
+        self.observer = None
         self._decoded: DecodedProgram | None = None  # built lazily on first run()
 
     # ------------------------------------------------------------------
@@ -247,6 +252,32 @@ class Core:
     # ------------------------------------------------------------------
     def run(self, max_instructions: int = 100_000_000) -> CoreResult:
         """Run until HALT (or the safety limit) and return the summary."""
+        observer = self.observer
+        if observer is None:
+            return self._run(max_instructions)
+        # Observability wraps the whole run; nothing is consulted per retired
+        # instruction, so the traced-vs-fast loop choice stays unchanged.
+        if self.config.predecode:
+            path = (
+                "traced"
+                if self.retire_hooks or self.timing_suppressor is not None
+                else "fast"
+            )
+        else:
+            path = "legacy"
+        observer.emit(EventKind.RUN_BEGIN, path=path)
+        span = observer.begin_span("core.run", "cpu", cycle=self.timing.cycles)
+        try:
+            result = self._run(max_instructions)
+        finally:
+            observer.end_span(span, cycle=self.timing.cycles, path=path)
+        observer.emit(
+            EventKind.RUN_END, cycle=result.cycles,
+            cycles=result.cycles, instructions=result.instructions, path=path,
+        )
+        return result
+
+    def _run(self, max_instructions: int) -> CoreResult:
         if self.config.predecode:
             self._run_decoded(max_instructions)
         else:

@@ -38,6 +38,7 @@ import numpy as np
 from ..cpu.core import Core
 from ..cpu.trace import TraceRecord
 from ..errors import ReproError
+from ..observe.events import EventKind
 from ..isa.instructions import Branch, BranchReg, Cmp, CmpKind, Mem
 from ..isa.operands import Cond, Imm, Reg
 from ..isa.dtypes import to_s32
@@ -178,12 +179,24 @@ class DynamicSIMDAssembler:
     ``injector`` attaches a :class:`repro.faults.FaultInjector` that
     corrupts speculative state at the verification boundary, so tests can
     prove the guard catches mis-speculation rather than absorbing it.
+    ``observer`` attaches a :class:`repro.observe.Observer` that receives
+    a typed event for every decision the state machine takes (loop
+    detection, verdicts, speculation start/commit/rollback, guard
+    fallbacks, NEON bursts); with the default ``None`` every emission
+    site is a single pointer comparison, off the record hot path.
     """
 
-    def __init__(self, config: DSAConfig | None = None, guard: bool = False, injector=None):
+    def __init__(
+        self,
+        config: DSAConfig | None = None,
+        guard: bool = False,
+        injector=None,
+        observer=None,
+    ):
         self.config = config or FULL_DSA_CONFIG
         self.guard = guard
         self.injector = injector
+        self.observer = observer
         self.cache = DSACache(self.config)
         self.vcache = VerificationCache(self.config)
         self.array_maps = ArrayMaps(self.config.array_maps, self.config.spare_neon_regs)
@@ -211,6 +224,13 @@ class DynamicSIMDAssembler:
 
     def _suppressor(self, record: TraceRecord) -> bool:
         return record.pc in self._suppress_set
+
+    # ------------------------------------------------------------------
+    # observability (every site guards on ``observer is None``: zero
+    # overhead when detached, and nothing here is on the record hot path)
+    # ------------------------------------------------------------------
+    def _obs_cycle(self) -> int | None:
+        return self.core.timing.cycles if self.core is not None else None
 
     def _rebuild_suppression(self) -> None:
         pcs: set[int] = set()
@@ -247,6 +267,15 @@ class DynamicSIMDAssembler:
 
         entry = self.cache.lookup(loop_id)
         self._charge_detection(self.config.latencies.dsa_cache_access)
+        obs = self.observer
+        if obs is not None:
+            cycle = self._obs_cycle()
+            obs.emit(EventKind.LOOP_DETECTED, cycle=cycle,
+                     loop_id=hex(loop_id), end_pc=hex(end_pc))
+            obs.emit(
+                EventKind.CACHE_HIT if entry is not None else EventKind.CACHE_MISS,
+                cycle=cycle, cache="dsa_cache", key=hex(loop_id),
+            )
         if entry is not None:
             self._start_from_cache(loop_id, end_pc, entry, record)
             return
@@ -685,6 +714,16 @@ class DynamicSIMDAssembler:
         )
         self.cache.insert(ctx.loop_id, entry)
         self.stats.verdicts[kind.value] += 1
+        if self.observer is not None:
+            cycle = self._obs_cycle()
+            self.observer.emit(
+                EventKind.TEMPLATE_BUILT, cycle=cycle, loop_id=hex(ctx.loop_id),
+                lanes=template.lanes, streams=len(template.streams),
+            )
+            self.observer.emit(
+                EventKind.LOOP_VERDICT, cycle=cycle, loop_id=hex(ctx.loop_id),
+                loop_kind=kind.value, vectorizable=True,
+            )
         self._begin_execution(ctx, entry, remaining)
 
     # ------------------------------------------------------------------
@@ -743,6 +782,16 @@ class DynamicSIMDAssembler:
         )
         self.cache.insert(ctx.loop_id, entry)
         self.stats.verdicts[LoopKind.SENTINEL.value] += 1
+        if self.observer is not None:
+            cycle = self._obs_cycle()
+            self.observer.emit(
+                EventKind.TEMPLATE_BUILT, cycle=cycle, loop_id=hex(ctx.loop_id),
+                lanes=template.lanes, streams=len(template.streams),
+            )
+            self.observer.emit(
+                EventKind.LOOP_VERDICT, cycle=cycle, loop_id=hex(ctx.loop_id),
+                loop_kind=LoopKind.SENTINEL.value, vectorizable=True,
+            )
         self._begin_execution(ctx, entry, entry.spec_range, sentinel=True)
 
     # ------------------------------------------------------------------
@@ -849,6 +898,18 @@ class DynamicSIMDAssembler:
         )
         self.cache.insert(ctx.loop_id, entry)
         self.stats.verdicts[LoopKind.CONDITIONAL.value] += 1
+        if self.observer is not None:
+            cycle = self._obs_cycle()
+            templates = [t for t in path_templates.values() if t is not None]
+            self.observer.emit(
+                EventKind.TEMPLATE_BUILT, cycle=cycle, loop_id=hex(ctx.loop_id),
+                lanes=templates[0].lanes if templates else 0,
+                streams=len(ctx.streams), paths=len(path_templates),
+            )
+            self.observer.emit(
+                EventKind.LOOP_VERDICT, cycle=cycle, loop_id=hex(ctx.loop_id),
+                loop_kind=LoopKind.CONDITIONAL.value, vectorizable=True,
+            )
         self._begin_conditional_execution(ctx, entry, remaining)
 
     # ------------------------------------------------------------------
@@ -864,6 +925,12 @@ class DynamicSIMDAssembler:
             return
         ctx.entry = entry
         ctx.state = _State.EXECUTE
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.SPEC_START, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id), loop_kind=entry.kind.value,
+                limit=remaining, sentinel=sentinel,
+            )
         ctx.first_covered = ctx.iteration + 1
         ctx.covered = 0
         ctx.invariants = dict(enumerate(self.core.regs)) if self.core else {}
@@ -890,6 +957,12 @@ class DynamicSIMDAssembler:
             return
         ctx.entry = entry
         ctx.state = _State.COND_EXECUTE
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.SPEC_START, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id), loop_kind=entry.kind.value,
+                limit=remaining,
+            )
         ctx.first_covered = ctx.iteration + 1
         ctx.covered = 0
         ctx.suppress_limit = remaining
@@ -975,6 +1048,13 @@ class DynamicSIMDAssembler:
         """
         self.stats.analyses_aborted += 1
         self._charge_stall(ctx.covered * max(1, len(ctx.suppress_pcs)))
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.SPEC_ROLLBACK, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id),
+                reason=ctx.pending_abort_reason or "unknown path",
+                covered=ctx.covered,
+            )
         ctx.suppress_active = False
         ctx.state = _State.SCALAR
         ctx.covered = 0
@@ -1039,6 +1119,11 @@ class DynamicSIMDAssembler:
             self.stats.leftover_used[entry.leftover.value] += 1
 
         self.stats.iterations_covered += covered
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.SPEC_COMMIT, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id), covered=covered, loop_kind=entry.kind.value,
+            )
         if self._verify_enabled and ctx.snapshot is not None:
             try:
                 self._verify_straight(
@@ -1070,6 +1155,12 @@ class DynamicSIMDAssembler:
             quads = math.ceil(max(span, 0) / template.lanes)
             self._charge_template_burst(template, start, quads)
         self.stats.iterations_covered += ctx.covered
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.SPEC_COMMIT, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id), covered=ctx.covered,
+                loop_kind=entry.kind.value,
+            )
 
         if self._verify_enabled and ctx.snapshot is not None:
             try:
@@ -1095,6 +1186,11 @@ class DynamicSIMDAssembler:
         self.stats.fallback_causes[f"loop_0x{ctx.loop_id:x}"] += 1
         lat = self.config.latencies
         self._charge_stall(lat.pipeline_flush + ctx.covered * max(1, len(ctx.suppress_pcs)))
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.GUARD_FALLBACK, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id), cause=str(exc), covered=ctx.covered,
+            )
 
     # ------------------------------------------------------------------
     def _charge_template_burst(
@@ -1138,6 +1234,11 @@ class DynamicSIMDAssembler:
         timing.end_vector_burst()
         self.stats.bursts_charged += 1
         self.stats.vector_instructions += total
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.NEON_DISPATCH, cycle=self._obs_cycle(),
+                instructions=total, source="dsa_burst", quads=quads,
+            )
 
     def _charge_stall(self, cycles: int) -> None:
         if self.core is not None and cycles:
@@ -1276,6 +1377,12 @@ class DynamicSIMDAssembler:
             entry.must_reverify = info["bound_kind"] == "reg"
         self.cache.insert(ctx.loop_id, entry)
         self.stats.verdicts[kind.value if not vectorizable else kind.value] += 1
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.LOOP_VERDICT, cycle=self._obs_cycle(),
+                loop_id=hex(ctx.loop_id), loop_kind=kind.value,
+                vectorizable=vectorizable, reason=reason,
+            )
 
 
 # ---------------------------------------------------------------------------

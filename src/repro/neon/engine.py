@@ -35,6 +35,7 @@ from ..isa.neon import (
     VUnary,
 )
 from ..memory.backing import MainMemory
+from ..observe.events import EventKind
 from . import lanes
 
 
@@ -72,6 +73,9 @@ class NeonEngine:
         #: executed instruction, free to corrupt the register file — the
         #: golden check downstream is what must catch the damage
         self.fault_hook = None
+        #: optional repro.observe.Observer; when set, every architecturally
+        #: executed vector instruction emits a NEON_DISPATCH event
+        self.observer = None
 
     # ------------------------------------------------------------------
     def read_q(self, index: int) -> np.ndarray:
@@ -235,6 +239,11 @@ class NeonEngine:
         event = handler(self, instr, regs, memory)
         if self.fault_hook is not None:
             self.fault_hook(instr, self.q)
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.NEON_DISPATCH,
+                instructions=1, source="architectural", op=type(instr).__name__,
+            )
         return [event] if event is not None else []
 
     # ------------------------------------------------------------------

@@ -1,0 +1,68 @@
+"""Per-run profiles: the aggregated form of an observer's event stream.
+
+A :class:`RunProfile` is what travels with a campaign run's
+:class:`~repro.systems.metrics.RunMetrics` record: event counts per kind
+and span totals in both clocks, collapsed from however many raw events the
+run produced.  It is observability, never result identity — two runs with
+byte-identical :class:`~repro.systems.metrics.RunResult` records will
+still differ here (host timing is non-deterministic by nature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunProfile:
+    """Aggregated observability of one simulation run."""
+
+    #: event-kind value -> number of emissions
+    events: dict[str, int] = field(default_factory=dict)
+    #: "cat/name" -> {"count", "host_us", "cycles"} span totals
+    spans: dict[str, dict] = field(default_factory=dict)
+    #: host wall-clock microseconds the observer had seen when built
+    host_us: float = 0.0
+
+    @classmethod
+    def from_observer(cls, observer) -> "RunProfile":
+        events: dict[str, int] = {}
+        for key, count in sorted(observer.counts.items()):
+            if not key.startswith("span:"):
+                events[key] = count
+        spans: dict[str, dict] = {}
+        for span in observer.spans:
+            key = f"{span.cat}/{span.name}"
+            agg = spans.setdefault(key, {"count": 0, "host_us": 0.0, "cycles": 0})
+            agg["count"] += 1
+            agg["host_us"] += span.dur_us
+            if span.cycles is not None:
+                agg["cycles"] += span.cycles
+        for agg in spans.values():
+            agg["host_us"] = round(agg["host_us"], 3)
+        return cls(events=events, spans=dict(sorted(spans.items())),
+                   host_us=round(observer.elapsed_us, 3))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "events": dict(self.events),
+            "spans": {k: dict(v) for k, v in self.spans.items()},
+            "host_us": self.host_us,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunProfile":
+        return cls(
+            events=dict(d.get("events") or {}),
+            spans={k: dict(v) for k, v in (d.get("spans") or {}).items()},
+            host_us=float(d.get("host_us", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    def event_count(self, kind: str) -> int:
+        return self.events.get(kind, 0)
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events.values())

@@ -1,0 +1,88 @@
+"""Span records: named durations in host time and simulation cycles.
+
+A span brackets one phase of work (a whole core run, a campaign, one
+isolated worker attempt) with both clocks the simulator has: host
+wall-clock microseconds and — when the emitter runs next to a timing
+model — simulation cycles.  Spans are what the Chrome-trace exporter
+renders as bars and what :class:`~repro.observe.profile.RunProfile`
+aggregates into per-run totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One completed, named duration."""
+
+    name: str
+    cat: str
+    seq: int
+    ts_us: float                 # start, host microseconds since observer epoch
+    dur_us: float
+    cycle_start: int | None = None
+    cycle_end: int | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int | None:
+        """Simulation cycles covered, when both ends were stamped."""
+        if self.cycle_start is None or self.cycle_end is None:
+            return None
+        return self.cycle_end - self.cycle_start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "seq": self.seq,
+            "ts_us": round(self.ts_us, 3),
+            "dur_us": round(self.dur_us, 3),
+            "cycle_start": self.cycle_start,
+            "cycle_end": self.cycle_end,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=d["name"],
+            cat=d["cat"],
+            seq=int(d["seq"]),
+            ts_us=float(d["ts_us"]),
+            dur_us=float(d["dur_us"]),
+            cycle_start=d.get("cycle_start"),
+            cycle_end=d.get("cycle_end"),
+            args=dict(d.get("args") or {}),
+        )
+
+
+class OpenSpan:
+    """A span whose end has not been stamped yet (see Observer.begin_span)."""
+
+    __slots__ = ("name", "cat", "seq", "ts_us", "cycle_start", "args")
+
+    def __init__(self, name: str, cat: str, seq: int, ts_us: float,
+                 cycle_start: int | None, args: dict):
+        self.name = name
+        self.cat = cat
+        self.seq = seq
+        self.ts_us = ts_us
+        self.cycle_start = cycle_start
+        self.args = args
+
+    def close(self, ts_us: float, cycle_end: int | None, extra: dict) -> Span:
+        args = dict(self.args)
+        args.update(extra)
+        return Span(
+            name=self.name,
+            cat=self.cat,
+            seq=self.seq,
+            ts_us=self.ts_us,
+            dur_us=max(0.0, ts_us - self.ts_us),
+            cycle_start=self.cycle_start,
+            cycle_end=cycle_end,
+            args=args,
+        )

@@ -1,0 +1,153 @@
+"""Per-loop-type coverage statistics (``repro stats``).
+
+The paper's loop taxonomy (count, function, conditional, sentinel,
+dynamic-range, partial, non-vectorizable) has one synthetic microkernel
+per class (``repro.workloads.synthetic.LOOP_TYPE_MICROKERNELS``); running
+each on ``neon_dsa`` and reading the DSA's counters yields the coverage
+table this module renders: how many loops were *detected*, how many
+invocations were *vectorized*, and how many ended in a *fallback*
+(guarded rollback or abandoned speculation) — the reproduction's analogue
+of the paper's loop-type table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: the paper's loop classes, in taxonomy order (= the microkernel keys)
+PAPER_LOOP_CLASSES = (
+    "count",
+    "function",
+    "conditional",
+    "sentinel",
+    "dynamic_range",
+    "partial",
+    "non_vectorizable",
+)
+
+
+@dataclass
+class LoopClassCoverage:
+    """DSA coverage of one loop class, measured on its microkernel."""
+
+    loop_class: str
+    workload: str
+    detected: int = 0               # loops the DSA named from backward branches
+    vectorized: int = 0             # invocations whose timing went to NEON
+    fallbacks: int = 0              # guarded rollbacks to scalar
+    aborted: int = 0                # analyses/speculations abandoned mid-flight
+    iterations_covered: int = 0     # iterations whose timing NEON replaced
+    verdicts: dict = field(default_factory=dict)   # loop-kind -> verdict count
+
+    @property
+    def outcome(self) -> str:
+        """One-word summary: did the DSA handle this class as expected?"""
+        if self.vectorized > 0:
+            return "vectorized"
+        if self.detected > 0:
+            return "scalar"
+        return "undetected"
+
+    def to_dict(self) -> dict:
+        return {
+            "loop_class": self.loop_class,
+            "workload": self.workload,
+            "detected": self.detected,
+            "vectorized": self.vectorized,
+            "fallbacks": self.fallbacks,
+            "aborted": self.aborted,
+            "iterations_covered": self.iterations_covered,
+            "verdicts": dict(self.verdicts),
+            "outcome": self.outcome,
+        }
+
+
+@dataclass
+class LoopCoverageReport:
+    """The per-loop-type detection/vectorization/fallback table."""
+
+    rows: list[LoopClassCoverage] = field(default_factory=list)
+
+    @classmethod
+    def from_results(cls, results: dict) -> "LoopCoverageReport":
+        """Build from ``{loop_class: RunResult}`` (each run must have a DSA).
+
+        Accepts anything exposing ``dsa_stats`` with the
+        :class:`~repro.dsa.engine.DSAStats` fields — live
+        ``SystemResult`` objects and serialized ``RunResult`` records alike.
+        """
+        rows = []
+        for loop_class in PAPER_LOOP_CLASSES:
+            if loop_class not in results:
+                continue
+            result = results[loop_class]
+            stats = result.dsa_stats
+            if stats is None:
+                raise ValueError(
+                    f"loop coverage needs a DSA run; {loop_class!r} has no dsa_stats"
+                )
+            rows.append(
+                LoopClassCoverage(
+                    loop_class=loop_class,
+                    workload=getattr(result, "workload", f"micro:{loop_class}"),
+                    detected=stats.loops_detected,
+                    vectorized=sum(stats.vectorized_invocations.values()),
+                    fallbacks=stats.fallbacks,
+                    aborted=stats.analyses_aborted,
+                    iterations_covered=stats.iterations_covered,
+                    verdicts=dict(stats.verdicts),
+                )
+            )
+        # anything outside the taxonomy (custom kernels) goes last, sorted
+        for loop_class in sorted(set(results) - set(PAPER_LOOP_CLASSES)):
+            result = results[loop_class]
+            stats = result.dsa_stats
+            if stats is None:
+                continue
+            rows.append(
+                LoopClassCoverage(
+                    loop_class=loop_class,
+                    workload=getattr(result, "workload", loop_class),
+                    detected=stats.loops_detected,
+                    vectorized=sum(stats.vectorized_invocations.values()),
+                    fallbacks=stats.fallbacks,
+                    aborted=stats.analyses_aborted,
+                    iterations_covered=stats.iterations_covered,
+                    verdicts=dict(stats.verdicts),
+                )
+            )
+        return cls(rows=rows)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"loop_coverage": [row.to_dict() for row in self.rows]}
+
+    def table(self) -> str:
+        header = ["loop_class", "workload", "detected", "vectorized",
+                  "fallbacks", "aborted", "iters", "outcome"]
+        cells = [
+            [
+                row.loop_class,
+                row.workload,
+                str(row.detected),
+                str(row.vectorized),
+                str(row.fallbacks),
+                str(row.aborted),
+                str(row.iterations_covered),
+                row.outcome,
+            ]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), max((len(r[i]) for r in cells), default=0))
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines += ["  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in cells]
+        vectorized = sum(1 for r in self.rows if r.outcome == "vectorized")
+        lines.append(
+            f"{len(self.rows)} loop classes: {vectorized} vectorized, "
+            f"{sum(r.fallbacks for r in self.rows)} guarded fallback(s), "
+            f"{sum(r.iterations_covered for r in self.rows)} iterations covered"
+        )
+        return "\n".join(lines)

@@ -207,29 +207,48 @@ def check_baseline(report: BenchReport, baseline: dict, tolerance: float = 0.25)
 
     Returns a list of regression messages (empty = within tolerance).  Only
     slowdowns count: being faster than the baseline is never a failure.
-    The aggregate is the gating number; per-run regressions are listed for
-    diagnosis but only flagged at twice the tolerance, since small kernels
-    are noisy.
+    The aggregate is the gating number; individual (workload, system) cells
+    gate only at twice the tolerance, since small kernels are noisy.  But
+    an aggregate failure always *names* every cell that slowed beyond the
+    plain tolerance, worst first — "the aggregate regressed" alone is not
+    actionable; "matmul/neon_dsa is 40% slower" is.
     """
     if not 0 < tolerance < 1:
         raise ConfigError("tolerance must be in (0, 1)")
     problems: list[str] = []
     base_aggregate = float(baseline.get("aggregate", {}).get("guest_mips", 0.0))
-    if base_aggregate > 0 and report.aggregate_mips < base_aggregate * (1 - tolerance):
-        problems.append(
-            f"aggregate throughput regressed: {report.aggregate_mips:.2f} MIPS vs "
-            f"baseline {base_aggregate:.2f} MIPS (tolerance {tolerance:.0%})"
-        )
+    aggregate_regressed = (
+        base_aggregate > 0 and report.aggregate_mips < base_aggregate * (1 - tolerance)
+    )
+
     base_runs = {r.get("label"): r for r in baseline.get("runs", [])}
+    gating: list[str] = []
+    suspects: list[tuple[float, str]] = []  # (mips ratio, message), for sorting
     for run in report.runs:
         base = base_runs.get(run.label)
         if base is None:
             continue
         base_mips = float(base.get("guest_mips", 0.0))
-        if base_mips > 0 and run.guest_mips < base_mips * (1 - 2 * tolerance):
-            problems.append(
-                f"{run.label}: {run.guest_mips:.2f} MIPS vs baseline {base_mips:.2f} MIPS"
-            )
+        if base_mips <= 0:
+            continue
+        ratio = run.guest_mips / base_mips
+        message = (
+            f"{run.workload}/{run.system}: {run.guest_mips:.2f} MIPS vs "
+            f"baseline {base_mips:.2f} MIPS ({1 - ratio:.0%} slower)"
+        )
+        if ratio < 1 - 2 * tolerance:
+            gating.append(message)
+        elif ratio < 1 - tolerance:
+            suspects.append((ratio, message))
+
+    if aggregate_regressed:
+        problems.append(
+            f"aggregate throughput regressed: {report.aggregate_mips:.2f} MIPS vs "
+            f"baseline {base_aggregate:.2f} MIPS (tolerance {tolerance:.0%})"
+        )
+        # name the cells responsible, worst first, even sub-gating ones
+        problems += [message for _, message in sorted(suspects)]
+    problems += gating
     return problems
 
 

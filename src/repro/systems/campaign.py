@@ -36,6 +36,8 @@ from ..errors import ConfigError, InjectedFaultError, ReproError, RunTimeoutErro
 from ..faults import WORKER_FAULT_KINDS, FaultPlan, build_injector
 from ..workloads import PAPER_WORKLOADS, load
 from ..workloads.base import Workload, check_scale
+from ..observe import Observer
+from ..observe.events import EventKind
 from ..workloads.synthetic import LOOP_TYPE_MICROKERNELS
 from .isolation import IsolatedExecutor, IsolatedOutcome
 from .metrics import RunFailure, RunMetrics, RunResult, summarize_run
@@ -111,13 +113,16 @@ def execute_spec(
     guard: bool = False,
     plan: FaultPlan | None = None,
     max_seconds: float | None = None,
+    observer=None,
 ) -> RunResult:
     """Run one spec to completion (golden-checked) and summarize it.
 
     ``guard`` enables the DSA's guarded execution (mis-speculation falls
     back to scalar instead of raising); ``plan`` attaches the fault
     injector for any DSA/NEON faults targeting this spec's label;
-    ``max_seconds`` bounds the simulation's wall clock cooperatively.
+    ``max_seconds`` bounds the simulation's wall clock cooperatively;
+    ``observer`` instruments the run (see :mod:`repro.observe`) without
+    perturbing the result.
     """
     workload = build_workload(spec)
     stage = spec.dsa_stage if spec.system == "neon_dsa" else "full"
@@ -130,19 +135,23 @@ def execute_spec(
         guard=guard,
         injector=injector,
         max_seconds=max_seconds,
+        observer=observer,
     )
     return summarize_run(result, scale=spec.scale, seed=spec.seed, dsa_stage=spec.dsa_stage)
 
 
-def _worker_run(task: tuple, attempt: int) -> tuple[str, float]:
-    """Isolated-worker entry point: returns (canonical JSON, compute secs).
+def _worker_run(task: tuple, attempt: int) -> tuple[str, float, str | None]:
+    """Isolated-worker entry point: returns (canonical JSON, compute secs,
+    profile JSON or ``None``).
 
     Worker-level faults from the plan are applied *here*, inside the
     sacrificial process, before any simulation work starts — a crash,
     hard exit or hang therefore exercises exactly the failure path a
-    genuinely broken worker would take.
+    genuinely broken worker would take.  An :class:`~repro.observe.Observer`
+    is not picklable, so when the campaign asks for profiles the worker
+    builds its own observer and ships back the aggregated profile dict.
     """
-    spec, cpu_config, guard, plan, max_seconds = task
+    spec, cpu_config, guard, plan, max_seconds, observe = task
     if plan is not None:
         fault = plan.worker_fault_for(spec.label, attempt)
         if fault is not None:
@@ -152,11 +161,18 @@ def _worker_run(task: tuple, attempt: int) -> tuple[str, float]:
                 os._exit(fault.exit_code)
             if fault.kind == "worker_hang":
                 time.sleep(fault.seconds)
+    observer = Observer() if observe else None
     start = time.perf_counter()
     result = execute_spec(
-        spec, cpu_config=cpu_config, guard=guard, plan=plan, max_seconds=max_seconds
+        spec, cpu_config=cpu_config, guard=guard, plan=plan,
+        max_seconds=max_seconds, observer=observer,
     )
-    return json.dumps(result.to_dict(), sort_keys=True), time.perf_counter() - start
+    profile = (
+        json.dumps(observer.profile().to_dict(), sort_keys=True)
+        if observer is not None
+        else None
+    )
+    return json.dumps(result.to_dict(), sort_keys=True), time.perf_counter() - start, profile
 
 
 def _canonical(result: RunResult) -> RunResult:
@@ -261,6 +277,15 @@ class CampaignRunner:
     * ``resume``     — reuse disk-cached results for specs a fault plan
       targets; without it a faulted campaign recomputes those specs so
       the faults actually fire instead of being served from cache.
+
+    Observability knobs (see :mod:`repro.observe`):
+
+    * ``observe``  — attach a per-run observer to every *computed* run and
+      carry its aggregated :class:`~repro.observe.RunProfile` on the run's
+      :class:`RunMetrics` (cache hits did no simulation: their profile is
+      ``None``);
+    * ``observer`` — a campaign-level observer receiving the dispatch-layer
+      events (memory/disk cache hits and misses, worker retries/timeouts).
     """
 
     def __init__(
@@ -276,6 +301,8 @@ class CampaignRunner:
         retries: int = 0,
         backoff: float = 0.5,
         resume: bool = False,
+        observe: bool = False,
+        observer: Observer | None = None,
     ):
         if jobs < 1:
             raise ConfigError("jobs must be at least 1")
@@ -292,6 +319,8 @@ class CampaignRunner:
         self.retries = retries
         self.backoff = backoff
         self.resume = resume
+        self.observe = observe
+        self.observer = observer
         self.disk = ResultDiskCache(cache_dir, enabled=use_cache)
         self._memory: dict[RunSpec, RunResult] = {}
 
@@ -341,6 +370,7 @@ class CampaignRunner:
         walls: dict[RunSpec, float] = {}
         results: dict[RunSpec, RunResult] = {}
         failures: dict[RunSpec, RunFailure] = {}
+        profiles: dict[RunSpec, dict] = {}
         keys: dict[RunSpec, str] = {}
         pending: list[RunSpec] = []
         seen: set[RunSpec] = set()
@@ -360,11 +390,14 @@ class CampaignRunner:
             self._apply_cache_faults(plan, keys)
         self.disk.prune_tmp()
 
+        obs = self.observer
         for spec in dict.fromkeys(ordered):
             if spec in self._memory:
                 sources[spec] = "memory"
                 walls[spec] = 0.0
                 results[spec] = self._memory[spec]
+                if obs is not None:
+                    obs.emit(EventKind.CACHE_HIT, cache="memory", key=spec.label)
                 continue
             lookup_start = time.perf_counter()
             # a freshly-faulted campaign must not serve plan-targeted specs
@@ -375,11 +408,15 @@ class CampaignRunner:
                 sources[spec] = "disk-cache"
                 walls[spec] = lookups[spec] + time.perf_counter() - lookup_start
                 results[spec] = cached
+                if obs is not None:
+                    obs.emit(EventKind.CACHE_HIT, cache="disk", key=keys[spec][:16])
             else:
                 pending.append(spec)
+                if obs is not None:
+                    obs.emit(EventKind.CACHE_MISS, cache="disk", key=keys[spec][:16])
 
         if pending:
-            self._compute(pending, keys, results, walls, failures)
+            self._compute(pending, keys, results, walls, failures, profiles)
             for spec in pending:
                 if spec in results:
                     sources[spec] = "computed"
@@ -393,7 +430,10 @@ class CampaignRunner:
             if spec not in results:
                 continue
             done += 1
-            m = RunMetrics.for_run(spec.to_dict(), results[spec], sources[spec], walls[spec])
+            m = RunMetrics.for_run(
+                spec.to_dict(), results[spec], sources[spec], walls[spec],
+                profile=profiles.get(spec),
+            )
             metrics.append(m)
             if self.progress is not None:
                 self.progress(done, len(unique), m)
@@ -453,6 +493,7 @@ class CampaignRunner:
         results: dict[RunSpec, RunResult],
         walls: dict[RunSpec, float],
         failures: dict[RunSpec, RunFailure],
+        profiles: dict[RunSpec, dict],
     ) -> None:
         plan = self.fault_plan
         # Worker faults hard-exit or hang: they must only ever run inside a
@@ -467,15 +508,16 @@ class CampaignRunner:
             ))
         )
         if not needs_isolation:
-            self._compute_inline(pending, keys, results, walls, failures)
+            self._compute_inline(pending, keys, results, walls, failures, profiles)
         else:
-            self._compute_isolated(pending, keys, results, walls, failures)
+            self._compute_isolated(pending, keys, results, walls, failures, profiles)
 
-    def _compute_inline(self, pending, keys, results, walls, failures) -> None:
+    def _compute_inline(self, pending, keys, results, walls, failures, profiles) -> None:
         for spec in pending:
             attempt = 0
             while True:
                 attempt += 1
+                observer = Observer() if self.observe else None
                 run_start = time.perf_counter()
                 try:
                     result = _canonical(
@@ -485,6 +527,7 @@ class CampaignRunner:
                             guard=self.guard,
                             plan=self.fault_plan,
                             max_seconds=self.timeout,
+                            observer=observer,
                         )
                     )
                 except Exception as exc:  # noqa: BLE001 - captured as RunFailure
@@ -504,16 +547,20 @@ class CampaignRunner:
                     break
                 walls[spec] = time.perf_counter() - run_start
                 results[spec] = result
+                if observer is not None:
+                    profiles[spec] = observer.profile().to_dict()
                 self._store(spec, keys, result)
                 break
 
-    def _compute_isolated(self, pending, keys, results, walls, failures) -> None:
+    def _compute_isolated(self, pending, keys, results, walls, failures, profiles) -> None:
         def on_complete(index: int, outcome: IsolatedOutcome) -> None:
             spec = pending[index]
             if outcome.ok:
-                encoded, secs = outcome.value
+                encoded, secs, profile = outcome.value
                 results[spec] = RunResult.from_dict(json.loads(encoded))
                 walls[spec] = secs
+                if profile is not None:
+                    profiles[spec] = json.loads(profile)
                 # incremental: each result is durable the moment it exists,
                 # so a later crash/interrupt can never lose it
                 self._store(spec, keys, results[spec])
@@ -537,9 +584,10 @@ class CampaignRunner:
             retries=self.retries,
             backoff=self.backoff,
             on_complete=on_complete,
+            observer=self.observer,
         )
         tasks = [
-            (spec, self.cpu_config, self.guard, self.fault_plan, self.timeout)
+            (spec, self.cpu_config, self.guard, self.fault_plan, self.timeout, self.observe)
             for spec in pending
         ]
         executor.run(tasks)

@@ -23,6 +23,7 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Callable
 
 from ..errors import ConfigError
+from ..observe.events import EventKind
 
 #: grace period between SIGTERM and SIGKILL for a timed-out worker
 _TERM_GRACE_S = 1.0
@@ -89,6 +90,7 @@ class IsolatedExecutor:
         retries: int = 0,
         backoff: float = 0.5,
         on_complete: Callable[[int, IsolatedOutcome], None] | None = None,
+        observer=None,
     ):
         if jobs < 1:
             raise ConfigError("jobs must be at least 1")
@@ -102,6 +104,9 @@ class IsolatedExecutor:
         self.retries = retries
         self.backoff = max(0.0, backoff)
         self.on_complete = on_complete
+        #: optional repro.observe.Observer: receives WORKER_RETRY and
+        #: WORKER_TIMEOUT events (parent-process side; never pickled)
+        self.observer = observer
         self._ctx = mp.get_context()
 
     # ------------------------------------------------------------------
@@ -201,6 +206,11 @@ class IsolatedExecutor:
             wall_time_s=now - entry.started,
             attempts=entry.attempt,
         )
+        if self.observer is not None:
+            self.observer.emit(
+                EventKind.WORKER_TIMEOUT,
+                task=entry.index, attempt=entry.attempt, deadline_s=self.timeout,
+            )
         self._retry_or_finish(entry, queue, outcomes, outcome, now)
 
     def _terminate(self, proc) -> None:
@@ -214,6 +224,12 @@ class IsolatedExecutor:
     def _retry_or_finish(self, entry, queue, outcomes, outcome, now) -> None:
         if entry.attempt <= self.retries:
             delay = self.backoff * (2 ** (entry.attempt - 1))
+            if self.observer is not None:
+                self.observer.emit(
+                    EventKind.WORKER_RETRY,
+                    task=entry.index, attempt=entry.attempt,
+                    status=outcome.status, delay_s=delay,
+                )
             queue.append((now + delay, entry.index, entry.attempt + 1))
         else:
             self._finish(entry, outcomes, outcome)

@@ -127,13 +127,22 @@ class RunMetrics:
     fallbacks: int = 0               # guarded-execution scalar rollbacks
     host_seconds: float = 0.0        # host compute time; 0.0 for cache hits
     guest_mips: float = 0.0          # guest MIPS of a live run; 0.0 for hits
+    fallback_causes: dict | None = None  # guard-rollback causes, if a DSA ran
+    profile: dict | None = None      # RunProfile.to_dict() when observed live
 
     @property
     def cache_hit(self) -> bool:
         return self.source != "computed"
 
     @classmethod
-    def for_run(cls, spec_dict: dict, result: RunResult, source: str, wall_time_s: float) -> "RunMetrics":
+    def for_run(
+        cls,
+        spec_dict: dict,
+        result: RunResult,
+        source: str,
+        wall_time_s: float,
+        profile: dict | None = None,
+    ) -> "RunMetrics":
         # Host-side throughput is observability, never result identity: a
         # cache hit did no simulation, so it reports 0.0 — which is also
         # what makes hits distinguishable from live runs in reports.
@@ -152,6 +161,8 @@ class RunMetrics:
             fallbacks=result.dsa_stats.fallbacks if result.dsa_stats else 0,
             host_seconds=host_seconds,
             guest_mips=guest_mips,
+            fallback_causes=dict(result.dsa_stats.fallback_causes) if result.dsa_stats else None,
+            profile=profile,
         )
 
     def to_dict(self) -> dict:
@@ -167,7 +178,15 @@ class RunMetrics:
             "fallbacks": self.fallbacks,
             "host_seconds": round(self.host_seconds, 6),
             "guest_mips": round(self.guest_mips, 4),
+            "fallback_causes": self.fallback_causes,
+            "profile": self.profile,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunMetrics":
+        d = dict(d)
+        d.pop("cache_hit", None)  # derived from source, never stored state
+        return cls(**d)
 
 
 @dataclass

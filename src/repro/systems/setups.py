@@ -92,6 +92,7 @@ def run_system(
     guard: bool = False,
     injector=None,
     max_seconds: float | None = None,
+    observer=None,
 ) -> SystemResult:
     """Run one workload on one system and (optionally) verify its outputs.
 
@@ -101,16 +102,31 @@ def run_system(
     rollbacks).  ``injector`` attaches a :class:`repro.faults.FaultInjector`
     corrupting speculative DSA state (``neon_dsa``) or architectural NEON
     lanes (static SIMD systems).  ``max_seconds`` bounds the run's wall
-    clock (see :func:`repro.systems.runner.execute_kernel`).
+    clock (see :func:`repro.systems.runner.execute_kernel`).  ``observer``
+    attaches a :class:`repro.observe.Observer` to the core, its NEON engine
+    and (on ``neon_dsa``) the DSA; observation never changes the result.
     """
     lowered = lower_for(system, workload)
     dsa = None
     attach = None
     if system == "neon_dsa":
-        dsa = DynamicSIMDAssembler(dsa_config or DSA_STAGES[dsa_stage], guard=guard, injector=injector)
+        dsa = DynamicSIMDAssembler(
+            dsa_config or DSA_STAGES[dsa_stage],
+            guard=guard, injector=injector, observer=observer,
+        )
         attach = dsa.attach
     elif injector is not None and injector.has_neon_faults:
         attach = injector.attach_neon
+    if observer is not None:
+        inner_attach = attach
+
+        def observed_attach(core):
+            core.observer = observer
+            core.neon.observer = observer
+            if inner_attach is not None:
+                inner_attach(core)
+
+        attach = observed_attach
     run = execute_kernel(
         lowered,
         workload.fresh_args(),

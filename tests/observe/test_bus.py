@@ -1,0 +1,135 @@
+"""The event bus: emission, schema enforcement, spans, profiles."""
+
+import pytest
+
+from repro.observe import Event, EventKind, EventSchemaError, Observer, Span
+from repro.observe.profile import RunProfile
+
+
+class FakeClock:
+    """Deterministic injectable clock (seconds, like time.perf_counter)."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def obs(clock):
+    return Observer(clock=clock)
+
+
+class TestEmit:
+    def test_records_event_with_payload(self, obs, clock):
+        clock.advance(0.001)
+        event = obs.emit(
+            EventKind.LOOP_DETECTED, cycle=42, loop_id="0x100", end_pc="0x120"
+        )
+        assert event.kind is EventKind.LOOP_DETECTED
+        assert event.cycle == 42
+        assert event.ts_us == pytest.approx(1000.0)
+        assert event.args == {"loop_id": "0x100", "end_pc": "0x120"}
+        assert obs.events == [event]
+        assert obs.count(EventKind.LOOP_DETECTED) == 1
+
+    def test_seq_is_monotonic_across_events_and_spans(self, obs):
+        e1 = obs.emit(EventKind.RUN_BEGIN)
+        span = obs.begin_span("work", "test")
+        e2 = obs.emit(EventKind.RUN_BEGIN)
+        closed = obs.end_span(span)
+        assert e1.seq < span.seq < e2.seq
+        assert closed.seq == span.seq
+
+    def test_missing_required_keys_rejected(self, obs):
+        with pytest.raises(EventSchemaError, match="loop_id"):
+            obs.emit(EventKind.LOOP_DETECTED, end_pc="0x120")
+        assert obs.events == []  # a rejected event is not recorded
+
+    def test_extra_keys_allowed(self, obs):
+        obs.emit(
+            EventKind.SPEC_COMMIT, loop_id="0x1", covered=7, loop_kind="count"
+        )
+        assert obs.events[0].args["loop_kind"] == "count"
+
+    def test_every_kind_has_a_schema(self, obs):
+        from repro.observe.events import EVENT_FIELDS
+
+        assert set(EVENT_FIELDS) == set(EventKind)
+
+    def test_sink_receives_records(self, obs):
+        seen = []
+        obs.sinks.append(seen.append)
+        obs.emit(EventKind.RUN_BEGIN)
+        with obs.span("inner", "test"):
+            pass
+        assert len(seen) == 2
+        assert isinstance(seen[0], Event)
+        assert isinstance(seen[1], Span)
+
+
+class TestSpans:
+    def test_span_measures_host_and_cycles(self, obs, clock):
+        span = obs.begin_span("run", "cpu", cycle=10)
+        clock.advance(0.002)
+        closed = obs.end_span(span, cycle=250)
+        assert closed.dur_us == pytest.approx(2000.0)
+        assert closed.cycles == 240
+        assert obs.spans == [closed]
+        assert obs.counts["span:cpu/run"] == 1
+
+    def test_context_manager_closes_on_exception(self, obs):
+        with pytest.raises(RuntimeError):
+            with obs.span("broken", "test"):
+                raise RuntimeError("boom")
+        assert len(obs.spans) == 1
+
+    def test_cycles_none_when_either_end_unknown(self, obs):
+        closed = obs.end_span(obs.begin_span("x", "t"), cycle=5)
+        assert closed.cycles is None
+
+
+class TestRoundTrip:
+    def test_event_dict_round_trip(self, obs):
+        event = obs.emit(EventKind.CACHE_HIT, cycle=3, cache="disk", key="abc")
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_span_dict_round_trip(self, obs, clock):
+        span = obs.begin_span("run", "cpu", cycle=1, depth=2)
+        clock.advance(0.5)
+        closed = obs.end_span(span, cycle=9)
+        restored = Span.from_dict(closed.to_dict())
+        assert restored.name == "run" and restored.cat == "cpu"
+        assert restored.cycles == closed.cycles
+        assert restored.args == closed.args
+
+
+class TestProfile:
+    def test_aggregates_counts_and_spans(self, obs, clock):
+        obs.emit(EventKind.RUN_BEGIN)
+        obs.emit(EventKind.RUN_BEGIN)
+        for _ in range(2):
+            span = obs.begin_span("run", "cpu", cycle=0)
+            clock.advance(0.001)
+            obs.end_span(span, cycle=100)
+        profile = obs.profile()
+        assert profile.events == {"run_begin": 2}
+        assert profile.spans["cpu/run"]["count"] == 2
+        assert profile.spans["cpu/run"]["cycles"] == 200
+        assert profile.spans["cpu/run"]["host_us"] == pytest.approx(2000.0)
+        assert profile.total_events == 2
+        assert profile.event_count("run_begin") == 2
+
+    def test_profile_round_trip(self, obs):
+        obs.emit(EventKind.RUN_BEGIN)
+        d = obs.profile().to_dict()
+        assert RunProfile.from_dict(d).to_dict() == d

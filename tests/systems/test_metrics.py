@@ -1,0 +1,97 @@
+"""RunMetrics serialization: the JSON record of one observed campaign run."""
+
+import json
+
+import pytest
+
+from repro.observe import Observer
+from repro.systems.campaign import CampaignRunner, RunSpec, execute_spec
+from repro.systems.metrics import RunMetrics
+
+DSA_SPEC = RunSpec("micro:count", "neon_dsa")
+SCALAR_SPEC = RunSpec("micro:count", "arm_original")
+
+
+def metrics_for(spec: RunSpec, source: str = "computed", profile=None) -> RunMetrics:
+    result = execute_spec(spec)
+    return RunMetrics.for_run(spec.to_dict(), result, source, 0.25, profile=profile)
+
+
+class TestForRun:
+    def test_dsa_run_carries_counters_and_causes(self):
+        m = metrics_for(DSA_SPEC)
+        assert m.dsa_counters is not None
+        assert m.fallback_causes == {}  # a clean run: the dict exists, empty
+        assert m.fallbacks == 0
+
+    def test_scalar_run_has_no_dsa_fields(self):
+        m = metrics_for(SCALAR_SPEC)
+        assert m.dsa_counters is None
+        assert m.fallback_causes is None
+
+    def test_guarded_fallback_causes_recorded(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(faults=[FaultSpec(kind="lane", match="micro:count/*")])
+        result = execute_spec(DSA_SPEC, guard=True, plan=plan)
+        m = RunMetrics.for_run(DSA_SPEC.to_dict(), result, "computed", 0.1)
+        assert m.fallbacks >= 1
+        assert sum(m.fallback_causes.values()) == m.fallbacks
+
+    def test_cache_hit_derived_from_source(self):
+        assert metrics_for(DSA_SPEC, source="computed").cache_hit is False
+        assert metrics_for(DSA_SPEC, source="disk-cache").cache_hit is True
+        assert metrics_for(DSA_SPEC, source="memory").cache_hit is True
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("spec", [DSA_SPEC, SCALAR_SPEC])
+    def test_round_trip_identity(self, spec):
+        m = metrics_for(spec)
+        wire = json.loads(json.dumps(m.to_dict(), sort_keys=True))
+        restored = RunMetrics.from_dict(wire)
+        assert restored.to_dict() == m.to_dict()
+        assert restored.cache_hit == m.cache_hit
+
+    def test_round_trip_with_profile(self):
+        obs = Observer()
+        result = execute_spec(DSA_SPEC, observer=obs)
+        m = RunMetrics.for_run(
+            DSA_SPEC.to_dict(), result, "computed", 0.5,
+            profile=obs.profile().to_dict(),
+        )
+        wire = json.loads(json.dumps(m.to_dict(), sort_keys=True))
+        restored = RunMetrics.from_dict(wire)
+        assert restored.profile == m.profile
+        assert restored.profile["events"]["spec_commit"] >= 1
+        assert "cpu/core.run" in restored.profile["spans"]
+
+    def test_to_dict_is_json_safe(self):
+        json.dumps(metrics_for(DSA_SPEC).to_dict())
+
+
+class TestCampaignProfiles:
+    def test_observed_campaign_attaches_profiles_to_computed_runs_only(self):
+        runner = CampaignRunner(observe=True)
+        first = runner.run([DSA_SPEC])
+        assert first.metrics[0].source == "computed"
+        assert first.metrics[0].profile is not None
+        assert first.metrics[0].profile["events"]["loop_detected"] >= 1
+        second = runner.run([DSA_SPEC])  # memory hit: no simulation happened
+        assert second.metrics[0].cache_hit
+        assert second.metrics[0].profile is None
+
+    def test_observed_campaign_json_record_round_trips(self):
+        runner = CampaignRunner(observe=True, jobs=2, use_cache=False)
+        outcome = runner.run([DSA_SPEC, SCALAR_SPEC])
+        payload = json.loads(json.dumps(outcome.to_json(), sort_keys=True))
+        for run in payload["runs"]:
+            restored = RunMetrics.from_dict(run)
+            assert restored.to_dict() == run
+            if run["spec"]["system"] == "neon_dsa":
+                assert restored.profile["events"]["spec_commit"] >= 1
+
+    def test_observation_does_not_change_results(self):
+        plain = CampaignRunner(use_cache=False).run_one(DSA_SPEC)
+        observed = CampaignRunner(use_cache=False, observe=True).run_one(DSA_SPEC)
+        assert plain.to_dict() == observed.to_dict()
