@@ -1,0 +1,493 @@
+"""Numpy bulk lowering for compiled hot loops (fast tier only).
+
+:func:`attach_bulk` inspects a compiled fast-tier region and, when the body
+is straight-line lane math over a single counted induction register, swaps
+the block's ``run`` for a vectorized executor: register dataflow is
+evaluated once per *batch* of iterations as numpy int64 arrays (loads
+become gathers, stores become scatters), while the cycle-exact scoreboard
+and cache hierarchy are replayed per iteration from the precomputed
+address streams — so the committed RunResult stays byte-identical to the
+scalar tiers.
+
+Eligibility (checked statically at attach time):
+
+* the region ends ``ADD ri, ri, #imm`` / ``CMP ri, <imm|invariant reg>`` /
+  ``B<cond> head`` — a counted loop over one induction register;
+* every body op is flag-free scalar lane math: MOV/MVN, the inlinable ALU
+  kinds, MUL/MLA, or an offset-mode integer load/store;
+* every register read is the induction, a batch invariant (never written
+  in the region), or a temp defined earlier in the same iteration — no
+  loop-carried values besides the induction itself;
+* no loaded value flows into an address or the trip-count compare (the
+  address streams must be computable before any memory traffic).
+
+Everything data-dependent is validated at run time per batch — trip count
+from the exact CMP flag semantics, memory bounds, and store/load aliasing
+(ranges must be disjoint, or be the read-modify-write pattern: a load and
+a later store over the *same* address stream).  Any failure falls back to
+the scalar compiled block mid-flight, which also preserves the
+``core._block_fault`` accounting protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.instructions import Alu, AluKind, Cmp, CmpKind, Mem, Mov, Mul, MulKind, Nop
+from ..isa.operands import Imm, IndexMode, Reg, ShiftedReg, ShiftKind
+from ..isa.dtypes import to_u32
+from ..memory.backing import MainMemory
+from .executor import Flags
+from .blockcompile import (
+    _M,
+    _S,
+    _Unsupported,
+    _ALU_INLINE,
+    _scalar_timing_lines,
+)
+
+#: largest batch of iterations evaluated as one numpy vector
+MAX_BATCH = 1 << 16
+#: below this trip count the numpy setup costs more than the scalar block
+MIN_BATCH = 32
+#: consecutive short-trip bails after which the block stops probing
+MAX_BAILS = 12
+
+#: shift-style ALU kinds lowerable when the amount is a static immediate
+_ALU_SHIFT = frozenset({AluKind.LSL, AluKind.LSR, AluKind.ASR})
+
+_COND_ARR = {
+    "EQ": "_zA",
+    "NE": "~_zA",
+    "LT": "_nA != _vA",
+    "GE": "_nA == _vA",
+    "GT": "~_zA & (_nA == _vA)",
+    "LE": "_zA | (_nA != _vA)",
+    "LO": "~_cA",
+    "HS": "_cA",
+    "MI": "_nA",
+    "PL": "~_nA",
+}
+
+
+class _Lane:
+    """One SSA value: source expression text plus static facts."""
+
+    __slots__ = ("var", "is_arr", "tainted")
+
+    def __init__(self, var: str, is_arr: bool, tainted: bool):
+        self.var = var
+        self.is_arr = is_arr
+        self.tainted = tainted
+
+
+class _Builder:
+    """Walks the body once, producing the batched evaluation source."""
+
+    def __init__(self, region, ri: int, written: set[int]):
+        self.ri = ri
+        self.written = written  # every register the whole region writes
+        self.env: dict[int, _Lane] = {ri: _Lane("_ivS", True, False)}
+        self.liveins: dict[int, str] = {}
+        self.livein_lines: list[str] = []  # emitted before everything else
+        self.pre: list[str] = []      # untainted math + EAs
+        self.post: list[str] = []     # gathers + load-dependent math
+        self.checks: list[str] = []   # bounds / monotonic store streams
+        self.mems: list[dict] = []    # one entry per memory op, program order
+
+    # -- operands ------------------------------------------------------
+    def _reg(self, reg: Reg) -> _Lane:
+        idx = reg.index
+        lane = self.env.get(idx)
+        if lane is not None:
+            return lane
+        if idx in self.written:
+            raise _Unsupported(f"loop-carried register r{idx}")
+        var = self.liveins.get(idx)
+        if var is None:
+            var = f"_li{idx}"
+            self.liveins[idx] = var
+            self.livein_lines.append(f"{var} = regs[{idx}]")
+        lane = _Lane(var, False, False)
+        self.env[idx] = lane
+        return lane
+
+    def _op2(self, op2) -> tuple[str, bool, bool]:
+        """(expr, is_arr, tainted) for a flexible second operand."""
+        if isinstance(op2, Imm):
+            return str(to_u32(op2.value)), False, False
+        if isinstance(op2, Reg):
+            lane = self._reg(op2)
+            return lane.var, lane.is_arr, lane.tainted
+        if isinstance(op2, ShiftedReg):
+            lane = self._reg(op2.reg)
+            v, amount = lane.var, op2.amount
+            if amount == 0:
+                return v, lane.is_arr, lane.tainted
+            if op2.kind is ShiftKind.LSL:
+                expr = f"(({v} << {amount}) & {_M})" if amount < 32 else "0"
+            elif op2.kind is ShiftKind.LSR:
+                expr = f"({v} >> {amount})" if amount < 32 else "0"
+            else:  # ASR — identical source for python ints and int64 arrays
+                s = min(amount, 31)
+                expr = f"((({v} - (({v} & {_S}) << 1)) >> {s}) & {_M})"
+            return expr, lane.is_arr, lane.tainted
+        raise _Unsupported(f"operand2 {op2!r}")
+
+    def _bind(self, rd: Reg, j: int, expr: str, is_arr: bool, tainted: bool):
+        if rd.index == 15 or rd.index == self.ri:
+            raise _Unsupported("write to pc or the induction register")
+        var = f"_v{j}"
+        (self.post if tainted else self.pre).append(f"{var} = {expr}")
+        self.env[rd.index] = _Lane(var, is_arr, tainted)
+
+    # -- one body op ---------------------------------------------------
+    def add_op(self, op, j: int) -> None:
+        instr = op.instr
+        if op.sets_flags or op.reads_flags:
+            raise _Unsupported("flag traffic inside the body")
+        if isinstance(instr, Nop):
+            return
+        if isinstance(instr, Mov):
+            b, arr, tnt = self._op2(instr.op2)
+            self._bind(instr.rd, j, f"{b} ^ {_M}" if instr.negate else b, arr, tnt)
+            return
+        if isinstance(instr, Alu):
+            tmpl = _ALU_INLINE.get(instr.kind)
+            if tmpl is not None:
+                a = self._reg(instr.rn)
+                b, barr, btnt = self._op2(instr.op2)
+                self._bind(instr.rd, j, tmpl.format(a=a.var, b=b),
+                           a.is_arr or barr, a.tainted or btnt)
+                return
+            if instr.kind in _ALU_SHIFT and isinstance(instr.op2, Imm):
+                # static shift amount — same bottom-byte rule as alu_compute
+                a = self._reg(instr.rn)
+                amount = to_u32(instr.op2.value) & 0xFF
+                v = a.var
+                if amount == 0:
+                    expr = v
+                elif instr.kind is AluKind.LSL:
+                    expr = f"(({v} << {amount}) & {_M})" if amount < 32 else "0"
+                elif instr.kind is AluKind.LSR:
+                    expr = f"({v} >> {amount})" if amount < 32 else "0"
+                else:  # ASR — clamp mirrors apply_shift's min(amount, 31)
+                    s = min(amount, 31)
+                    expr = f"((({v} - (({v} & {_S}) << 1)) >> {s}) & {_M})"
+                self._bind(instr.rd, j, expr, a.is_arr, a.tainted)
+                return
+            raise _Unsupported(f"ALU kind {instr.kind!r}")
+        if isinstance(instr, Mul):
+            a, b = self._reg(instr.rn), self._reg(instr.rm)
+            # int64 products wrap mod 2**64 (low bits exact), so `& M` is
+            # still the exact 32-bit result for arrays and python ints alike
+            if instr.kind is MulKind.MUL:
+                expr = f"({a.var} * {b.var}) & {_M}"
+                arr, tnt = a.is_arr or b.is_arr, a.tainted or b.tainted
+            elif instr.kind is MulKind.MLA:
+                c = self._reg(instr.ra)
+                expr = f"({a.var} * {b.var} + {c.var}) & {_M}"
+                arr = a.is_arr or b.is_arr or c.is_arr
+                tnt = a.tainted or b.tainted or c.tainted
+            else:
+                raise _Unsupported(f"multiply kind {instr.kind!r}")
+            self._bind(instr.rd, j, expr, arr, tnt)
+            return
+        if isinstance(instr, Mem):
+            self._mem(op, instr, j)
+            return
+        raise _Unsupported(f"cannot bulk-lower {instr!r}")
+
+    def _mem(self, op, instr: Mem, j: int) -> None:
+        if instr.addr.mode is not IndexMode.OFFSET or instr.dtype.is_float:
+            raise _Unsupported("writeback or float memory op")
+        size = instr.dtype.size
+        base = self._reg(instr.addr.base)
+        off, oarr, otnt = self._op2(instr.addr.offset)
+        if base.tainted or otnt:
+            raise _Unsupported("load-dependent address")
+        ea = f"_ea{j}"
+        expr = f"({base.var} + {off}) & {_M}"
+        if not (base.is_arr or oarr):
+            # loop-invariant address: broadcast so the uniform gather /
+            # scatter / alias machinery applies unchanged
+            expr = f"np.full(_B, {expr}, dtype=_I64)"
+        self.pre.append(f"{ea} = {expr}")
+        self.checks.append(f"if int({ea}[-1]) + {size} > _msize or int({ea}[0]) + {size} > _msize:")
+        self.checks.append("    bail = True")
+        self.checks.append("    break")
+        if instr.is_store:
+            # strictly monotonic addresses: no within-batch collisions, so
+            # scattering whole streams in program order matches scalar order
+            d = f"_d{j}"
+            self.checks.append(f"{d} = np.diff({ea})")
+            self.checks.append(f"if {d}.size and not (({d} > 0).all() or ({d} < 0).all()):")
+            self.checks.append("    bail = True")
+            self.checks.append("    break")
+        else:
+            self.checks.append(f"if int({ea}.min()) < 0 or int({ea}.max()) + {size} > _msize:")
+            self.checks.append("    bail = True")
+            self.checks.append("    break")
+        if instr.is_store:
+            data = self._reg(instr.rd)
+            self.mems.append({"j": j, "store": True, "ea": ea, "size": size,
+                              "data": data})
+        else:
+            var = f"_v{j}"
+            self.post.append(f"{var} = {_gather_expr(ea, instr.dtype)}")
+            self.env[instr.rd.index] = _Lane(var, True, True)
+            self.mems.append({"j": j, "store": False, "ea": ea, "size": size})
+
+
+def _gather_expr(ea: str, dtype) -> str:
+    size = dtype.size
+    parts = [f"_mem8[{ea}].astype(_I64)"]
+    for k in range(1, size):
+        parts.append(f"(_mem8[{ea} + {k}].astype(_I64) << {8 * k})")
+    raw = " | ".join(parts)
+    if dtype.is_signed and size < 4:
+        sign = 1 << (size * 8 - 1)
+        return f"((({raw}) - ((({raw}) & {sign}) << 1)) & {_M})"
+    return raw
+
+
+def _scatter_lines(m: dict, out: list[str]) -> None:
+    ea, size, data = m["ea"], m["size"], m["data"]
+    mask = (1 << (size * 8)) - 1
+    out.append(f"_sv = {data.var} & {mask}")
+    if not data.is_arr:
+        out.append(f"_sv = np.full(_B, _sv, dtype=_I64)")
+    for k in range(size):
+        byte = "_sv" if k == 0 else f"(_sv >> {8 * k})"
+        out.append(f"_mem8[{ea} + {k}] = ({byte} & 255).astype(np.uint8)")
+
+
+def _alias_lines(mems: list[dict], out: list[str]) -> None:
+    """Pairwise store/load and store/store stream compatibility checks."""
+    for si, s in enumerate(mems):
+        if not s["store"]:
+            continue
+        for oi, o in enumerate(mems):
+            if oi == si:
+                continue
+            if not o["store"] and oi > si:
+                # a load after a store must never touch the store's range:
+                # pre-gathering would miss the written value
+                rmw_ok = False
+            elif not o["store"]:
+                # load-then-store over the same stream is the RMW pattern;
+                # monotonic streams make cross-iteration hits impossible
+                rmw_ok = s["size"] == o["size"]
+            else:
+                if oi > si:
+                    continue  # each store pair is checked once
+                rmw_ok = s["size"] == o["size"]
+            sea, oea = s["ea"], o["ea"]
+            ssz, osz = s["size"], o["size"]
+            cond = (
+                f"not (int({sea}.min()) >= int({oea}.max()) + {osz}"
+                f" or int({oea}.min()) >= int({sea}.max()) + {ssz})"
+            )
+            if rmw_ok:
+                cond += f" and not np.array_equal({sea}, {oea})"
+            out.append(f"if {cond}:")
+            out.append("    bail = True")
+            out.append("    break")
+
+
+# ----------------------------------------------------------------------
+def attach_bulk(blk, dec, head, br, config) -> None:
+    """Attach a numpy bulk path to ``blk`` if the region is eligible."""
+    try:
+        src, ns = _gen_bulk(dec, head, br, config, blk.run)
+    except _Unsupported:
+        return
+    code = compile(src, f"<bulk block 0x{blk.head_pc:x}>", "exec")
+    exec(code, ns)
+    blk.run = ns["__bulk_run__"]
+
+
+def _gen_bulk(dec, head, br, config, scalar_run):
+    ops = dec.ops
+    region = [ops[i] for i in range(head, br + 1)]
+    n = len(region)
+    if n < 4 or any(op.is_vector for op in region):
+        raise _Unsupported("vector op or degenerate region")
+    branch_op, cmp_op, ind_op = region[-1], region[-2], region[-3]
+
+    cond_arr = _COND_ARR.get(branch_op.instr.cond.name)
+    if cond_arr is None:
+        raise _Unsupported(f"condition {branch_op.instr.cond!r}")
+
+    ind = ind_op.instr
+    if not (
+        isinstance(ind, Alu)
+        and ind.kind is AluKind.ADD
+        and not ind.sets_flags
+        and isinstance(ind.op2, Imm)
+        and ind.rd.index == ind.rn.index
+        and ind.rd.index != 15
+    ):
+        raise _Unsupported("no trailing `add ri, ri, #imm` induction")
+    ri = ind.rd.index
+    step = to_u32(ind.op2.value)
+    if step == 0:
+        raise _Unsupported("zero induction step")
+
+    cmp_i = cmp_op.instr
+    if not (isinstance(cmp_i, Cmp) and cmp_i.kind is CmpKind.CMP
+            and cmp_i.rn.index == ri):
+        raise _Unsupported("no trailing `cmp ri, bound`")
+
+    written = {ri}
+    for op in region[:-3]:
+        i = getattr(op.instr, "rd", None)
+        if i is not None and not (isinstance(op.instr, Mem) and op.instr.is_store):
+            written.add(i.index)
+
+    b = _Builder(region, ri, written)
+    if isinstance(cmp_i.op2, Imm):
+        bound = str(to_u32(cmp_i.op2.value))
+    elif isinstance(cmp_i.op2, Reg):
+        lane = b._reg(cmp_i.op2)
+        if lane.tainted or lane.is_arr:
+            raise _Unsupported("non-invariant compare bound")
+        bound = lane.var
+    else:
+        raise _Unsupported("shifted compare bound")
+
+    for j, op in enumerate(region[:-3]):
+        b.add_op(op, j)
+    if not b.mems:
+        raise _Unsupported("no memory traffic to amortize")
+
+    # ---- per-iteration timing replay (identical scoreboard inlining) ----
+    tim: list[str] = []
+    for j, op in enumerate(region):
+        if isinstance(op.instr, Mem):
+            m = next(m for m in b.mems if m["j"] == j)
+            tim.append(f"_ml = hierarchy_access(_eal{j}[_it], {m['size']}, {op.instr.is_store})")
+            tim.append("mem_stall += _ml")
+            _scalar_timing_lines(op, config, tim, is_mem=True)
+        elif j == n - 1:
+            tim.append("taken = _it != _Bm1 or last_taken")
+            _scalar_timing_lines(op, config, tim, is_branch=True)
+        else:
+            _scalar_timing_lines(op, config, tim)
+
+    body: list[str] = []
+    body.append(f"cap = (limit - seq) // {n}")
+    body.append("if cap > _h:")
+    body.append("    cap = _h")
+    body.append(f"v0 = regs[{ri}]")
+    body.extend(b.livein_lines)
+    body.append("_ts = np.arange(1, cap + 1, dtype=_I64)")
+    body.append(f"_iv = (v0 + {step} * _ts) & {_M}")
+    body.append(f"_cb = {bound}")
+    body.append(f"_cr = (_iv - _cb) & {_M}")
+    body.append(f"_nA = _cr >= {_S}")
+    body.append("_zA = _cr == 0")
+    body.append("_cA = _iv >= _cb")
+    body.append(f"_vA = ((_iv ^ _cb) & (_iv ^ _cr) & {_S}) != 0")
+    body.append(f"_tk = {cond_arr}")
+    body.append("_nt = np.flatnonzero(~_tk)")
+    body.append("if _nt.size:")
+    body.append("    _B = int(_nt[0]) + 1")
+    body.append("    last_taken = False")
+    # remember the whole-entry trip count so the next entry probes one
+    # right-sized batch instead of a MAX_BATCH arange
+    body.append("    _h = iters + _B")
+    body.append("    _hint[0] = _h if _h > 16 else 16")
+    body.append("else:")
+    body.append("    _B = cap")
+    body.append("    last_taken = True")
+    body.append(f"    if _h < {MAX_BATCH}:")
+    body.append(f"        _h = _h * 4")
+    body.append(f"        if _h > {MAX_BATCH}:")
+    body.append(f"            _h = {MAX_BATCH}")
+    body.append("        _hint[0] = _h")
+    body.append(f"if _B < {MIN_BATCH}:")
+    body.append("    _hint[1] += 1")
+    body.append("    bail = True")
+    body.append("    break")
+    body.append("_hint[1] = 0")
+    body.append("if _B < cap:")
+    body.append("    _iv = _iv[:_B]")
+    body.append("    _nA = _nA[:_B]")
+    body.append("    _zA = _zA[:_B]")
+    body.append("    _cA = _cA[:_B]")
+    body.append("    _vA = _vA[:_B]")
+    body.append(f"_ivS = (v0 + {step} * np.arange(_B, dtype=_I64)) & {_M}")
+    body.extend(b.pre)
+    body.extend(b.checks)
+    _alias_lines(b.mems, body)
+    body.extend(b.post)
+    for m in b.mems:
+        body.append(f"_eal{m['j']} = {m['ea']}.tolist()")
+    body.append("_Bm1 = _B - 1")
+    body.append("for _it in range(_B):")
+    body.extend("    " + ln for ln in tim)
+    for m in b.mems:
+        if m["store"]:
+            _scatter_lines(m, body)
+    for reg, lane in b.env.items():
+        if reg == ri or reg in b.liveins:
+            continue
+        body.append(f"regs[{reg}] = int({lane.var}[-1])" if lane.is_arr
+                    else f"regs[{reg}] = {lane.var}")
+    body.append(f"regs[{ri}] = int(_iv[_Bm1])")
+    body.append("flags = F(bool(_nA[_Bm1]), bool(_zA[_Bm1]), bool(_cA[_Bm1]), bool(_vA[_Bm1]))")
+    body.append(f"iters += _B")
+    body.append(f"seq += _B * {n}")
+    body.append("if not last_taken:")
+    body.append("    taken = False")
+    body.append("    break")
+
+    lines = [
+        "def __bulk_run__(core, seq, limit, _hint=[64, 0]):",
+        "    memory = core.memory",
+        f"    if type(memory) is not MM or _hint[1] > {MAX_BAILS}:",
+        "        return scalar_run(core, seq, limit)",
+        "    _h = _hint[0]",
+        "    regs = core.regs",
+        "    timing = core.timing",
+        "    hierarchy_access = core.hierarchy.access",
+        "    ready = timing._reg_ready",
+        "    (now, slot_cycle, slots_used, flags_ready, last_completion,",
+        "     neon_next_issue, neon_burst_open) = timing.block_entry_state()",
+        "    mem_stall = 0",
+        "    mispredicts = 0",
+        "    iters = 0",
+        "    taken = True",
+        "    bail = False",
+        "    flags = None",
+        "    _mem8 = np.frombuffer(memory._data, dtype=np.uint8)",
+        "    _msize = memory.size",
+        f"    while seq + {n} <= limit:",
+    ]
+    lines += ["        " + ln for ln in body]
+    lines += [
+        "    if flags is not None:",
+        "        core.flags = flags",
+        "    timing.block_commit(",
+        "        now, slot_cycle, slots_used, flags_ready, last_completion,",
+        "        neon_next_issue, neon_burst_open,",
+        f"        iters * {n}, 0, mem_stall, mispredicts)",
+        "    if bail and taken:",
+        "        try:",
+        "            seq, taken, _i2 = scalar_run(core, seq, limit)",
+        "        except BaseException:",
+        "            _fi, _fk = core._block_fault",
+        "            core._block_fault = (_fi + iters, _fk)",
+        "            raise",
+        "        iters += _i2",
+        "    return seq, taken, iters",
+    ]
+    ns = {
+        "np": np,
+        "_I64": np.int64,
+        "MM": MainMemory,
+        "F": Flags,
+        "scalar_run": scalar_run,
+    }
+    return "\n".join(lines) + "\n", ns

@@ -68,6 +68,23 @@ class CPUConfig:
     #: interpreter (byte-identical results — kept for one release as the
     #: golden reference the identity suite compares against)
     predecode: bool = True
+    #: third execution tier above the predecoded interpreter: straight-line
+    #: hot loop bodies are compiled once into a fused closure executing a
+    #: whole guest iteration per host dispatch with batched timing.
+    #: Byte-identical to the legacy interpreter (same golden harness);
+    #: requires ``predecode``
+    compile_hot: bool = True
+    #: taken backward branches to the same target before its region is
+    #: considered hot and handed to the block compiler
+    hot_threshold: int = 8
+    #: also compile hot regions in the *traced* loop (retire hooks or a
+    #: timing suppressor attached — the DSA path): records are still built
+    #: and delivered one per instruction, but through specialized
+    #: per-instruction code instead of the generic interpreter
+    compile_traced: bool = True
+    #: lower eligible straight-line lane math (affine load/ALU/store
+    #: bodies) to a numpy kernel inside the compiled block
+    compile_numpy: bool = True
     scalar: ScalarLatencies = field(default_factory=ScalarLatencies)
     vector: VectorLatencies = field(default_factory=VectorLatencies)
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
@@ -77,6 +94,8 @@ class CPUConfig:
             raise ConfigError("issue width must be at least 1")
         if self.clock_hz <= 0:
             raise ConfigError("clock must be positive")
+        if self.hot_threshold < 1:
+            raise ConfigError("hot threshold must be at least 1")
 
     def seconds(self, cycles: float) -> float:
         return cycles / self.clock_hz

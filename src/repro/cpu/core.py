@@ -55,6 +55,7 @@ from .executor import (
     load_to_register,
     mul_compute,
 )
+from .hotspot import FAILED as _FAILED, HotspotTable
 from .predecode import DecodedProgram, predecode
 from .timing import TimingModel
 from .trace import MemAccess, TraceRecord
@@ -109,6 +110,10 @@ class Core:
         #: inside the retire loops, so the traced-vs-fast choice is unchanged
         self.observer = None
         self._decoded: DecodedProgram | None = None  # built lazily on first run()
+        self._hotspots: HotspotTable | None = None   # with the decoded image
+        #: (iterations, op-index) a faulting compiled block leaves behind so
+        #: the dispatch loop can reconstruct the exact architected state
+        self._block_fault: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # register convenience (harness-facing)
@@ -190,7 +195,9 @@ class Core:
             reads_flags = instr.cond is not Cond.AL
             branch_taken = cond_holds(instr.cond, self.flags)
             assert isinstance(instr.target, int), "program must be assembled"
-            if instr.link:
+            # ARM semantics: a conditional instruction whose condition fails
+            # retires as a NOP — an untaken BL<cond> must NOT write LR
+            if instr.link and branch_taken:
                 self.regs[LR] = to_u32(pc + INSTRUCTION_BYTES)
             if branch_taken:
                 next_pc = instr.target
@@ -209,10 +216,15 @@ class Core:
         else:
             raise ExecutionError(f"cannot execute {instr!r}")
 
-        reg_writes = tuple(
-            (r.index, self.regs[r.index])
-            for r in sorted(instr.regs_written(), key=lambda r: r.index)
-        )
+        if branch_taken is False and isinstance(instr, Branch) and instr.link:
+            # untaken conditional branch-link retired as a NOP: it wrote
+            # nothing, so the record must not report a (stale) LR write
+            reg_writes: tuple[tuple[int, int], ...] = ()
+        else:
+            reg_writes = tuple(
+                (r.index, self.regs[r.index])
+                for r in sorted(instr.regs_written(), key=lambda r: r.index)
+            )
         record = TraceRecord(
             seq=self.seq,
             pc=pc,
@@ -304,6 +316,8 @@ class Core:
     def _run_decoded(self, max_instructions: int) -> None:
         if self._decoded is None:
             self._decoded = predecode(self.program, self.config)
+            if self.config.compile_hot:
+                self._hotspots = HotspotTable(self._decoded, self.config)
         # Observers force the traced loop: retire hooks consume TraceRecords
         # and a suppressor is *queried* with one per instruction, so both
         # need the full record stream.  With neither attached there is no
@@ -329,6 +343,7 @@ class Core:
         charge_vector = timing.charge_vector_decoded
         hierarchy_access = self.hierarchy.access
         counts = [0] * len(ops)
+        hot = self._hotspots
         seq = self.seq
         pc = self.pc
         idx = (pc - base) >> 2
@@ -362,8 +377,50 @@ class Core:
                     break
                 if branch_taken is None:
                     idx += 1
-                else:
-                    idx = (pc - base) >> 2
+                    continue
+                new_idx = (pc - base) >> 2
+                # trace-compiled tier: a taken backward branch is a loop
+                # head candidate — count it, and once a compiled block
+                # exists run whole iterations through it
+                if (
+                    hot is not None
+                    and branch_taken
+                    and pc < op.pc
+                    and new_idx >= 0
+                    and pc == base + (new_idx << 2)
+                ):
+                    blk = hot.fast[new_idx]
+                    if blk is None:
+                        blk = hot.lookup_fast(new_idx)
+                    elif blk is _FAILED:
+                        blk = None
+                    if blk is not None and seq + blk.n_ops <= max_instructions:
+                        try:
+                            seq, taken, iters = blk.run(self, seq, max_instructions)
+                        except BaseException:
+                            # reconstruct the exact architected position of
+                            # the faulting op (not retired, like the
+                            # interpreted loops)
+                            f_iters, f_k = self._block_fault
+                            seq += f_iters * blk.n_ops + f_k
+                            pc = blk.head_pc + (f_k << 2)
+                            h0 = blk.head_idx
+                            for j in range(blk.n_ops):
+                                c = f_iters + 1 if j < f_k else f_iters
+                                if c:
+                                    counts[h0 + j] += c
+                            raise
+                        if iters:
+                            h0 = blk.head_idx
+                            for j in range(blk.n_ops):
+                                counts[h0 + j] += iters
+                        if taken:
+                            idx = blk.head_idx
+                        else:
+                            idx = blk.exit_idx
+                            pc = blk.exit_pc
+                        continue
+                idx = new_idx
         finally:
             # exceptions (bad fetch, memory fault) leave the same architected
             # state the legacy loop would: the faulting op not yet retired
@@ -388,6 +445,7 @@ class Core:
         charge_vector = timing.charge_vector_decoded
         hierarchy_access = self.hierarchy.access
         icounts = self.icounts
+        hot = self._hotspots if self.config.compile_traced else None
         while not self.halted and self.seq < max_instructions:
             pc = self.pc
             idx = (pc - base) >> 2
@@ -411,7 +469,8 @@ class Core:
             else:
                 next_pc, accesses, branch_taken, mispredicted = result
             widx = op.write_idx
-            if not widx:
+            if not widx or (branch_taken is False and op.cond_link):
+                # an untaken BL<cond> retired as a NOP: no (stale) LR write
                 reg_writes = ()
             elif len(widx) == 1:
                 i = widx[0]
@@ -444,6 +503,25 @@ class Core:
             self.pc = next_pc
             for hook in self.retire_hooks:
                 hook(record)
+            # trace-compiled tier: on a taken backward branch whose target
+            # the hooks left alone, run whole iterations through the
+            # specialized per-instruction code (records still delivered)
+            if (
+                hot is not None
+                and branch_taken
+                and next_pc < pc
+                and not self.halted
+                and self.pc == next_pc
+            ):
+                new_idx = (next_pc - base) >> 2
+                if new_idx >= 0 and next_pc == base + (new_idx << 2):
+                    blk = hot.traced[new_idx]
+                    if blk is None:
+                        blk = hot.lookup_traced(new_idx)
+                    elif blk is _FAILED:
+                        blk = None
+                    if blk is not None:
+                        blk.run(self, max_instructions)
 
 
 def run_program(

@@ -85,6 +85,7 @@ class DecodedOp:
         "write_idx",     # sorted tuple of scalar register indices written
         "reads_flags",   # static: conditional branch
         "sets_flags",    # static: Cmp, or Alu with the S suffix
+        "cond_link",     # static: conditional branch-link (BL<cond>)
         "latency",       # scalar or vector execution latency (cycles)
         "wb_index",      # Mem writeback base register index, or None
         "is_vector",     # dispatched to the NEON pipeline
@@ -102,6 +103,9 @@ class DecodedOp:
         self.reads_flags = isinstance(instr, Branch) and instr.cond is not Cond.AL
         self.sets_flags = isinstance(instr, Cmp) or (
             isinstance(instr, Alu) and instr.sets_flags
+        )
+        self.cond_link = (
+            isinstance(instr, Branch) and instr.link and instr.cond is not Cond.AL
         )
         self.wb_index = (
             instr.addr.base.index
@@ -337,9 +341,13 @@ def _build_branch(instr: Branch, pc: int):
             def execute(core):
                 return taken_result
     elif link:
+        # ARM semantics: a conditional instruction whose condition fails
+        # retires as a NOP — an untaken BL<cond> must NOT write LR
         def execute(core):
-            core.regs[LR] = link_value
-            return taken_result if cond_holds(cond, core.flags) else not_taken_result
+            if cond_holds(cond, core.flags):
+                core.regs[LR] = link_value
+                return taken_result
+            return not_taken_result
     else:
         def execute(core):
             return taken_result if cond_holds(cond, core.flags) else not_taken_result

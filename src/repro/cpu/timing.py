@@ -315,6 +315,55 @@ class TimingModel:
         if completion > self._last_completion:
             self._last_completion = completion
 
+    # ------------------------------------------------------------------
+    # compiled-block scoreboard batching (fast tier only; see
+    # repro.cpu.blockcompile — the traced tier charges per-op because the
+    # DSA mutates timing mid-run through add_stall)
+    # ------------------------------------------------------------------
+    def block_entry_state(self) -> tuple:
+        """Snapshot the scalar scoreboard state a compiled block keeps in
+        locals (``_reg_ready``/``_q_ready`` are shared lists, mutated in
+        place by the block, so they are not part of the snapshot)."""
+        return (
+            self._now,
+            self._slot_cycle,
+            self._slots_used,
+            self._flags_ready,
+            self._last_completion,
+            self._neon_next_issue,
+            self._neon_burst_open,
+        )
+
+    def block_commit(
+        self,
+        now: int,
+        slot_cycle: int,
+        slots_used: int,
+        flags_ready: int,
+        last_completion: int,
+        neon_next_issue: int,
+        neon_burst_open: bool,
+        scalar_n: int,
+        vector_n: int,
+        mem_stall: int,
+        mispredicts: int,
+    ) -> None:
+        """Write back the scoreboard locals and the batched stat deltas of
+        one compiled-block dispatch (the single-call counterpart of N
+        ``charge_*_decoded`` calls)."""
+        self._now = now
+        self._slot_cycle = slot_cycle
+        self._slots_used = slots_used
+        self._flags_ready = flags_ready
+        self._last_completion = last_completion
+        self._neon_next_issue = neon_next_issue
+        self._neon_burst_open = neon_burst_open
+        stats = self.stats
+        stats.scalar_instructions += scalar_n
+        stats.vector_instructions += vector_n
+        stats.memory_stall_cycles += mem_stall
+        stats.branch_mispredicts += mispredicts
+
     def end_vector_burst(self) -> None:
         """Mark the end of a NEON burst; the next one pays the fill again."""
         self._neon_burst_open = False

@@ -133,6 +133,15 @@ class _State(Enum):
 class _LoopContext:
     """Per-loop runtime state inside the DSA."""
 
+    __slots__ = (
+        "loop_id", "end_pc", "dsa", "state", "iteration", "window",
+        "path_windows", "path_counts", "streams", "call_depth", "has_inner",
+        "has_call", "entry", "vcache_overflow", "suppress_pcs", "scalar_pcs",
+        "suppress_active", "covered", "first_covered", "suppress_limit",
+        "path_map", "invariants", "snapshot", "snapshot_done",
+        "current_path", "last_window", "pending_abort_reason",
+    )
+
     def __init__(self, loop_id: int, end_pc: int, dsa: "DynamicSIMDAssembler"):
         self.loop_id = loop_id
         self.end_pc = end_pc
@@ -205,6 +214,17 @@ class DynamicSIMDAssembler:
         self.contexts: dict[int, _LoopContext] = {}
         self._suppress_union: dict[int, frozenset] = {}
         self._suppress_set: frozenset = frozenset()
+        #: iteration snapshot of ``contexts.values()`` — rebuilt at every
+        #: context insert/remove so ``on_record`` does not allocate a list
+        #: per retired instruction (same snapshot-at-loop-start semantics)
+        self._ctx_snapshot: tuple[_LoopContext, ...] = ()
+        #: (lo, hi) pc range in which a non-branch, non-memory record is a
+        #: guaranteed no-op for *every* live context; None disables the
+        #: fast path.  See ``_refresh_passive_window``.
+        self._passive_window: tuple[int, int] | None = None
+        #: contexts that sample memory streams (EXECUTE state) — the only
+        #: ones a passive-window memory record can reach
+        self._sampling_ctxs: tuple[_LoopContext, ...] = ()
 
     @property
     def _verify_enabled(self) -> bool:
@@ -245,11 +265,67 @@ class DynamicSIMDAssembler:
     def on_record(self, record: TraceRecord) -> None:
         self.stats.records_observed += 1
 
-        for ctx in list(self.contexts.values()):
-            self._observe(ctx, record)
+        # Passive-window fast path.  A record with no branch outcome whose
+        # pc lies inside the window cannot change any context's shape (no
+        # call tracking, no window append, no boundary, no finalize) and
+        # cannot start a loop.  Without accesses it is a complete no-op;
+        # with accesses only EXECUTE-state contexts react, and only by
+        # sampling the stream (which never moves states, bounds, or the
+        # context set, so the window stays valid without a refresh).
+        if record.branch_taken is None:
+            w = self._passive_window
+            if w is not None and w[0] <= record.pc < w[1]:
+                if not record.accesses:
+                    return
+                if isinstance(record.instr, Mem):
+                    for ctx in self._sampling_ctxs:
+                        self._sample_stream(ctx, record)
+                return
 
-        if record.is_backward_branch and record.next_pc not in self.contexts:
+        observe = self._observe
+        for ctx in self._ctx_snapshot:
+            observe(ctx, record)
+
+        if (
+            record.branch_taken
+            and record.next_pc < record.pc
+            and record.next_pc not in self.contexts
+        ):
             self._loop_detected(record)
+
+        self._refresh_passive_window()
+
+    def _refresh_passive_window(self) -> None:
+        """Recompute the no-op pc window after any slow-path record.
+
+        The window is valid only while every live context is in a state
+        with no per-record bookkeeping for plain in-range records (EXECUTE
+        samples memory only; SCALAR tracks nothing).  COLLECT/ANALYZE/
+        MAP_ANALYZE append every in-range record to the iteration window
+        and COND_EXECUTE appends to the path signature, so any such
+        context disables the fast path entirely.  The bounds intersect all
+        context ranges and stay strictly below every ``end_pc`` so
+        iteration boundaries always take the slow path.
+        """
+        lo = 0
+        hi: int | None = None
+        sampling: list[_LoopContext] = []
+        for ctx in self._ctx_snapshot:
+            state = ctx.state
+            if state is _State.EXECUTE:
+                sampling.append(ctx)
+            elif state is not _State.SCALAR:
+                self._passive_window = None
+                return
+            if ctx.loop_id > lo:
+                lo = ctx.loop_id
+            if hi is None or ctx.end_pc < hi:
+                hi = ctx.end_pc
+        if hi is not None and lo < hi:
+            self._passive_window = (lo, hi)
+            self._sampling_ctxs = tuple(sampling)
+        else:
+            self._passive_window = None
 
     # ------------------------------------------------------------------
     def _loop_detected(self, record: TraceRecord) -> None:
@@ -281,6 +357,7 @@ class DynamicSIMDAssembler:
             return
         ctx = _LoopContext(loop_id, end_pc, self)
         self.contexts[loop_id] = ctx
+        self._ctx_snapshot = tuple(self.contexts.values())
         self.stats.analyses_started += 1
         self.stats.stage_activations["data_collection"] += 1
 
@@ -289,20 +366,31 @@ class DynamicSIMDAssembler:
         pc = record.pc
 
         # function-call tracking keeps callee instructions "inside"
-        if ctx.loop_id <= pc <= ctx.end_pc or ctx.call_depth > 0:
-            instr = record.instr
-            if isinstance(instr, Branch) and instr.link:
-                ctx.call_depth += 1
-                ctx.has_call = True
-            elif isinstance(instr, BranchReg) and ctx.call_depth > 0:
-                ctx.call_depth -= 1
-        elif not record.is_backward_branch or record.next_pc != ctx.loop_id:
+        in_range = ctx.loop_id <= pc <= ctx.end_pc
+        if in_range or ctx.call_depth > 0:
+            # only branch-class records can open/close a call; everything
+            # else skips the isinstance ladder entirely
+            if record.branch_taken is not None:
+                instr = record.instr
+                if isinstance(instr, Branch):
+                    if instr.link:
+                        ctx.call_depth += 1
+                        ctx.has_call = True
+                elif ctx.call_depth > 0 and isinstance(instr, BranchReg):
+                    ctx.call_depth -= 1
+            if not in_range and ctx.call_depth <= 0:
+                return
+        elif (
+            not record.branch_taken
+            or record.next_pc >= pc
+            or record.next_pc != ctx.loop_id
+        ):
             # completely outside this loop: it has ended
             self._finalize(ctx, record)
             return
-
-        inside = ctx.loop_id <= pc <= ctx.end_pc or ctx.call_depth > 0
-        if not inside:
+        else:
+            # outside the body, but a backward branch into the loop head
+            # (re-entry): nothing to observe on this record
             return
 
         # continuous stream sampling (loops left alone need no bookkeeping)
@@ -1029,6 +1117,7 @@ class DynamicSIMDAssembler:
         """
         ctx = _LoopContext(loop_id, end_pc, self)
         self.contexts[loop_id] = ctx
+        self._ctx_snapshot = tuple(self.contexts.values())
         ctx.entry = entry
         if not entry.vectorizable and not entry.must_reverify:
             # a definitively non-vectorizable loop stays scalar; verdicts
@@ -1076,6 +1165,7 @@ class DynamicSIMDAssembler:
             self.array_maps.release_all()
             self.vcache.reset()
             self.contexts.pop(ctx.loop_id, None)
+            self._ctx_snapshot = tuple(self.contexts.values())
             self._rebuild_suppression()
 
     def _commit_straight(self, ctx: _LoopContext) -> None:

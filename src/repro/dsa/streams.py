@@ -30,6 +30,11 @@ class MemStream:
     is_write: bool
     dtype: DType
     samples: list[tuple[int, int]] = field(default_factory=list)  # (iteration, addr)
+    #: memoized (sample_count, gap) — gap() is pure in the sample list, and
+    #: the execution-phase address check calls it once per covered iteration
+    _gap_cache: tuple[int, int | None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_sample(self, iteration: int, addr: int) -> None:
         self.samples.append((iteration, addr))
@@ -44,17 +49,42 @@ class MemStream:
 
     def gap(self) -> int | None:
         """Per-iteration address gap; None when irregular or unknown."""
-        if len(self.samples) < 2:
+        samples = self.samples
+        n = len(samples)
+        if n < 2:
             return None
+        cache = self._gap_cache
+        if cache is not None and 2 <= cache[0] <= n:
+            cached_n, result = cache
+            if cached_n == n:
+                return result
+            # extend incrementally: a None verdict is sticky (the offending
+            # pair never leaves the list), and a known gap only survives if
+            # every appended pair continues it exactly
+            if result is not None:
+                i1, a1 = samples[cached_n - 1]
+                for idx in range(cached_n, n):
+                    i2, a2 = samples[idx]
+                    di = i2 - i1
+                    if di <= 0 or (a2 - a1) != result * di:
+                        result = None
+                        break
+                    i1, a1 = i2, a2
+            self._gap_cache = (n, result)
+            return result
+        result: int | None
         gaps = set()
-        for (i1, a1), (i2, a2) in zip(self.samples, self.samples[1:]):
+        result = None
+        for (i1, a1), (i2, a2) in zip(samples, samples[1:]):
             di = i2 - i1
             if di <= 0 or (a2 - a1) % di:
-                return None
+                break
             gaps.add((a2 - a1) // di)
-        if len(gaps) != 1:
-            return None
-        return gaps.pop()
+        else:
+            if len(gaps) == 1:
+                result = gaps.pop()
+        self._gap_cache = (n, result)
+        return result
 
     def addr_at(self, iteration: int) -> int | None:
         """Predicted address at ``iteration`` (eq. 4.4 generalised)."""

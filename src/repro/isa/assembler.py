@@ -352,6 +352,10 @@ class Assembler:
             return Branch(self._branch_target(ops[0], labels))
         if mnem.startswith("b") and mnem[1:] in _CONDS:
             return Branch(self._branch_target(ops[0], labels), cond=_CONDS[mnem[1:]])
+        # UAL resolution order: plain conditions win ("ble" is B.LE), so a
+        # conditional branch-link is only what remains ("bleq" is BL.EQ)
+        if mnem.startswith("bl") and mnem[2:] in _CONDS:
+            return Branch(self._branch_target(ops[0], labels), cond=_CONDS[mnem[2:]], link=True)
         return None
 
     @staticmethod

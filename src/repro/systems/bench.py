@@ -137,6 +137,11 @@ def _time_spec(spec: RunSpec, config: CPUConfig, repeats: int) -> tuple[float, i
     """Best-of-N wall time of one live (uncached) simulation."""
     best = float("inf")
     instructions = cycles = 0
+    if repeats == 1:
+        # a lone timed run would charge one-time process warmup (imports,
+        # codegen exec, bytecode specialization) to the measurement and
+        # read systematically slower than the best-of-N baseline numbers
+        execute_spec(spec, cpu_config=config)
     for _ in range(repeats):
         start = time.perf_counter()
         result = execute_spec(spec, cpu_config=config)

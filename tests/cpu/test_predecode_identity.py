@@ -29,6 +29,19 @@ from repro.workloads.synthetic import LOOP_TYPE_MICROKERNELS
 PREDECODED = CPUConfig(predecode=True)
 LEGACY = CPUConfig(predecode=False)
 
+#: one config per execution tier above the legacy interpreter; every tier
+#: must produce bit-identical RunResults (hot_threshold=2 forces the
+#: compiled tiers to engage even on short test-scale workloads)
+TIER_CONFIGS = {
+    "interp": CPUConfig(predecode=True, compile_hot=False),
+    "compiled": CPUConfig(
+        predecode=True, compile_hot=True, hot_threshold=2, compile_numpy=False
+    ),
+    "bulk": CPUConfig(
+        predecode=True, compile_hot=True, hot_threshold=2, compile_numpy=True
+    ),
+}
+
 GOLDEN_PATH = Path(__file__).with_name("golden_microkernels.json")
 
 MICRO_KINDS = sorted(LOOP_TYPE_MICROKERNELS)
@@ -57,6 +70,37 @@ class TestRunResultIdentity:
         a = result_dict(spec, PREDECODED)
         b = result_dict(spec, LEGACY)
         assert canonical(a) == canonical(b)
+
+
+class TestCompiledTierIdentity:
+    """Each tier of the execution ladder must agree with the legacy
+    interpreter bit for bit — including the trace-compiled hot-loop tier
+    and its numpy bulk lowering."""
+
+    _legacy_memo: dict = {}
+
+    @classmethod
+    def _legacy(cls, spec: RunSpec) -> str:
+        key = (spec.workload, spec.system, spec.seed)
+        got = cls._legacy_memo.get(key)
+        if got is None:
+            got = cls._legacy_memo[key] = canonical(result_dict(spec, LEGACY))
+        return got
+
+    @pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+    @pytest.mark.parametrize("kind", MICRO_KINDS)
+    def test_microkernel_dsa(self, kind, tier):
+        spec = RunSpec(f"micro:{kind}", "neon_dsa", seed=3)
+        assert canonical(result_dict(spec, TIER_CONFIGS[tier])) == self._legacy(spec)
+
+    @pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+    @pytest.mark.parametrize("workload", ["rgb_gray", "matmul"])
+    def test_paper_workloads(self, workload, tier):
+        for system in ("arm_original", "neon_dsa"):
+            spec = RunSpec(workload, system)
+            assert (
+                canonical(result_dict(spec, TIER_CONFIGS[tier])) == self._legacy(spec)
+            ), f"{workload}/{system} diverged on tier {tier!r}"
 
 
 class TestGoldenSnapshot:
@@ -110,18 +154,22 @@ class TestTraceStreamIdentity:
             assert a.instr is b.instr  # the very same Program object
 
 
+def _run_one(source: str, config: CPUConfig, max_instructions: int):
+    core = Core(assemble(source), MainMemory(1 << 16), config=config)
+    try:
+        result = core.run(max_instructions=max_instructions)
+        return ("ok", result.cycles, result.instructions,
+                tuple(core.regs), core.pc, dict(core.icounts),
+                core.memory.snapshot())
+    except ExecutionError as exc:
+        return ("error", str(exc), core.seq, core.pc,
+                tuple(core.regs), dict(core.icounts),
+                core.memory.snapshot())
+
+
 def _run_both(source: str, max_instructions: int = 100_000_000):
-    outcomes = []
-    for config in (PREDECODED, LEGACY):
-        core = Core(assemble(source), MainMemory(1 << 16), config=config)
-        try:
-            result = core.run(max_instructions=max_instructions)
-            outcomes.append(("ok", result.cycles, result.instructions,
-                             tuple(core.regs), core.pc, dict(core.icounts)))
-        except ExecutionError as exc:
-            outcomes.append(("error", str(exc), core.seq, core.pc,
-                             tuple(core.regs), dict(core.icounts)))
-    return outcomes
+    return [_run_one(source, config, max_instructions)
+            for config in (PREDECODED, LEGACY)]
 
 
 class TestErrorPathIdentity:
@@ -166,3 +214,64 @@ class TestErrorPathIdentity:
         fast, legacy = _run_both(source)
         assert fast == legacy
         assert fast[0] == "ok"
+
+
+class TestMaxInstructionBoundaries:
+    """``max_instructions`` must cut every tier at the identical point.
+
+    The compiled tiers retire whole loop bodies (and, with numpy lowering,
+    whole batches of iterations) per host dispatch, so the limit can land
+    at a block entry, mid-body, or mid-batch; the architected state and the
+    error message must still match a legacy core stopped at the same seq.
+    """
+
+    # 5-op counted store loop: 2 setup ops, 200 iterations, halt => 1003
+    SOURCE = """
+            mov r0, #0
+            mov r1, #32768
+        loop:
+            add r2, r0, #7
+            str r2, [r1, r0, lsl #2]
+            add r0, r0, #1
+            cmp r0, #200
+            blt loop
+            halt
+    """
+    TOTAL = 2 + 200 * 5 + 1
+
+    # entry-aligned, every mid-body offset, mid-batch, around completion
+    LIMITS = [7, 10, 11, 12, 13, 14, 251, 252, 497,
+              TOTAL - 3, TOTAL - 1, TOTAL, TOTAL + 1]
+
+    @pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+    def test_boundary_parity(self, tier):
+        config = TIER_CONFIGS[tier]
+        for limit in self.LIMITS:
+            want = _run_one(self.SOURCE, LEGACY, limit)
+            got = _run_one(self.SOURCE, config, limit)
+            assert got == want, f"tier {tier!r} diverged at limit {limit}"
+        full = _run_one(self.SOURCE, config, self.TOTAL)
+        assert full[0] == "ok"
+        short = _run_one(self.SOURCE, config, self.TOTAL - 1)
+        assert short[0] == "error" and "did not halt" in short[1]
+
+    @pytest.mark.parametrize("tier", sorted(TIER_CONFIGS))
+    def test_every_offset_within_one_iteration(self, tier):
+        """Sweep a full loop body's worth of consecutive limits."""
+        config = TIER_CONFIGS[tier]
+        for limit in range(500, 506):
+            want = _run_one(self.SOURCE, LEGACY, limit)
+            got = _run_one(self.SOURCE, config, limit)
+            assert got == want, f"tier {tier!r} diverged at limit {limit}"
+
+    @pytest.mark.parametrize("tier", [*sorted(TIER_CONFIGS), "legacy"])
+    def test_already_halted_core_rerun(self, tier):
+        """Re-running a halted core must be a no-op on every tier."""
+        config = LEGACY if tier == "legacy" else TIER_CONFIGS[tier]
+        core = Core(assemble(self.SOURCE), MainMemory(1 << 16), config=config)
+        first = core.run(max_instructions=self.TOTAL)
+        state = (core.seq, core.pc, tuple(core.regs), dict(core.icounts))
+        again = core.run(max_instructions=self.TOTAL)
+        assert (again.cycles, again.instructions) == (
+            first.cycles, first.instructions)
+        assert (core.seq, core.pc, tuple(core.regs), dict(core.icounts)) == state
