@@ -191,6 +191,10 @@ class CampaignResult:
     jobs: int = 1
     cache_dir: str | None = None
     failures: list[RunFailure] = field(default_factory=list)
+    #: graceful-degradation counters (cache quarantines/evictions, stale
+    #: drops) — zero on a healthy campaign, surfaced so operators *see*
+    #: recoveries instead of inferring them
+    degradation: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -225,6 +229,7 @@ class CampaignResult:
                 "jobs": self.jobs,
                 "cache_dir": self.cache_dir,
                 "code_fingerprint": code_fingerprint(),
+                "degradation": dict(self.degradation),
             },
             "runs": [m.to_dict() for m in self.metrics],
             "results": [self.results[RunSpec.from_dict(m.spec)].to_dict() for m in self.metrics],
@@ -258,6 +263,12 @@ class CampaignResult:
         if self.failures:
             tail += f"; {len(self.failures)} FAILED"
         lines.append(tail)
+        worn = {k: v for k, v in self.degradation.items() if v}
+        if worn:
+            lines.append(
+                "degradation: "
+                + ", ".join(f"{k.replace('_', ' ')}={v}" for k, v in sorted(worn.items()))
+            )
         for f in self.failures:
             lines.append(f"FAILED {f.label}: {f.kind}: {f.cause} (after {f.attempts} attempt(s))")
         return "\n".join(lines)
@@ -444,6 +455,7 @@ class CampaignRunner:
             jobs=self.jobs,
             cache_dir=str(self.disk.root) if self.disk.enabled else None,
             failures=[failures[s] for s in unique if s in failures],
+            degradation=self.disk.stats.degradation(),
         )
 
     # ------------------------------------------------------------------

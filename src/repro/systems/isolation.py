@@ -17,9 +17,14 @@ attempt count attached.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import sys
+import tempfile
 import time
+import traceback
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
 from typing import Callable
 
 from ..errors import ConfigError
@@ -27,6 +32,15 @@ from ..observe.events import EventKind
 
 #: grace period between SIGTERM and SIGKILL for a timed-out worker
 _TERM_GRACE_S = 1.0
+
+#: how much of a dead worker's stderr / traceback tail to keep in the outcome
+_DIAG_TAIL_CHARS = 600
+
+
+def _tail(text: str, limit: int = _DIAG_TAIL_CHARS) -> str:
+    """Whitespace-collapsed tail of a diagnostic blob, bounded in size."""
+    collapsed = " ".join(text.split())
+    return collapsed[-limit:] if len(collapsed) > limit else collapsed
 
 
 @dataclass
@@ -44,17 +58,42 @@ class IsolatedOutcome:
         return self.status == "ok"
 
 
-def _child_main(conn, fn: Callable, task, attempt: int) -> None:
+def _child_main(
+    conn, fn: Callable, task, attempt: int, stderr_path: str | None,
+    close_fds: tuple = (),
+) -> None:
     """Child entry point: run the task, ship the outcome through the pipe.
 
     A fault that hard-exits or hangs simply never sends anything; the
-    parent reads the empty pipe (or the expired deadline) as the verdict.
+    parent reads the empty pipe (or the expired deadline) as the verdict —
+    plus whatever the child managed to write to its redirected stderr,
+    which is the only forensic record a hard death leaves behind.
     """
+    for fd in close_fds:
+        # under the fork start method a worker inherits every parent fd —
+        # including a service's listening socket, which would keep the
+        # port bound after the service dies and block its restart
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    if stderr_path is not None:
+        try:
+            fd = os.open(stderr_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+            os.dup2(fd, 2)
+            os.close(fd)
+            sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+        except OSError:
+            pass  # diagnostics are best-effort; the task still runs
     start = time.perf_counter()
     try:
         value = fn(task, attempt)
     except BaseException as exc:  # noqa: BLE001 - the pipe is the report
-        message = ("error", f"{type(exc).__name__}: {exc}", time.perf_counter() - start)
+        # ship the traceback tail so retry exhaustion reports *why*, not
+        # just the exception class (satellite: RunFailure.cause diagnosis)
+        trace = _tail(traceback.format_exc())
+        detail = f"{type(exc).__name__}: {exc} [traceback: {trace}]"
+        message = ("error", detail, time.perf_counter() - start)
     else:
         message = ("ok", value, time.perf_counter() - start)
     try:
@@ -68,15 +107,29 @@ def _child_main(conn, fn: Callable, task, attempt: int) -> None:
 class _Running:
     """Book-keeping for one in-flight worker process."""
 
-    __slots__ = ("proc", "conn", "index", "attempt", "started", "deadline")
+    __slots__ = ("proc", "conn", "index", "attempt", "started", "deadline", "stderr_path")
 
-    def __init__(self, proc, conn, index, attempt, started, deadline):
+    def __init__(self, proc, conn, index, attempt, started, deadline, stderr_path):
         self.proc = proc
         self.conn = conn
         self.index = index
         self.attempt = attempt
         self.started = started
         self.deadline = deadline
+        self.stderr_path = stderr_path
+
+    def stderr_tail(self) -> str:
+        """Whatever the worker wrote to stderr before dying (may be '')."""
+        if self.stderr_path is None:
+            return ""
+        try:
+            return _tail(Path(self.stderr_path).read_text(errors="replace"))
+        except OSError:
+            return ""
+
+    def cleanup_stderr(self) -> None:
+        if self.stderr_path is not None:
+            Path(self.stderr_path).unlink(missing_ok=True)
 
 
 class IsolatedExecutor:
@@ -91,6 +144,7 @@ class IsolatedExecutor:
         backoff: float = 0.5,
         on_complete: Callable[[int, IsolatedOutcome], None] | None = None,
         observer=None,
+        close_fds: tuple = (),
     ):
         if jobs < 1:
             raise ConfigError("jobs must be at least 1")
@@ -108,6 +162,9 @@ class IsolatedExecutor:
         #: WORKER_TIMEOUT events (parent-process side; never pickled)
         self.observer = observer
         self._ctx = mp.get_context()
+        # fd numbers are only meaningful in a fork child; spawn/forkserver
+        # children never inherit them, and closing would hit innocent fds
+        self.close_fds = tuple(close_fds) if self._ctx.get_start_method() == "fork" else ()
 
     # ------------------------------------------------------------------
     def run(self, tasks: list) -> list[IsolatedOutcome]:
@@ -138,6 +195,7 @@ class IsolatedExecutor:
             for entry in running.values():
                 self._terminate(entry.proc)
                 entry.conn.close()
+                entry.cleanup_stderr()
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
 
@@ -147,15 +205,19 @@ class IsolatedExecutor:
         while queue and len(running) < self.jobs and queue[0][0] <= now:
             _, index, attempt = queue.pop(0)
             recv, send = self._ctx.Pipe(duplex=False)
+            fd, stderr_path = tempfile.mkstemp(prefix="repro-worker-", suffix=".stderr")
+            os.close(fd)
             proc = self._ctx.Process(
                 target=_child_main,
-                args=(send, self.fn, tasks[index], attempt),
+                args=(send, self.fn, tasks[index], attempt, stderr_path, self.close_fds),
                 daemon=True,
             )
             proc.start()
             send.close()  # the child owns the write end now
             deadline = None if self.timeout is None else now + self.timeout
-            running[proc.sentinel] = _Running(proc, recv, index, attempt, now, deadline)
+            running[proc.sentinel] = _Running(
+                proc, recv, index, attempt, now, deadline, stderr_path
+            )
 
     def _next_wait(self, queue, running, now) -> float | None:
         """How long the sentinel wait may block without missing anything."""
@@ -181,6 +243,7 @@ class IsolatedExecutor:
         if message is not None:
             status, value, wall = message
             if status == "ok":
+                entry.cleanup_stderr()
                 self._finish(
                     entry, outcomes,
                     IsolatedOutcome("ok", value=value, wall_time_s=wall, attempts=entry.attempt),
@@ -188,21 +251,33 @@ class IsolatedExecutor:
                 return
             outcome = IsolatedOutcome("error", detail=value, wall_time_s=wall, attempts=entry.attempt)
         else:
+            # a hard death sends nothing through the pipe: the stderr tail
+            # (abort message, interpreter fatal error, ...) is the diagnosis
+            detail = f"worker died with exit code {entry.proc.exitcode}"
+            stderr = entry.stderr_tail()
+            if stderr:
+                detail = f"{detail} [stderr: {stderr}]"
             outcome = IsolatedOutcome(
                 "crash",
-                detail=f"worker died with exit code {entry.proc.exitcode}",
+                detail=detail,
                 wall_time_s=now - entry.started,
                 attempts=entry.attempt,
             )
+        entry.cleanup_stderr()
         self._retry_or_finish(entry, queue, outcomes, outcome, now)
 
     def _kill(self, entry: _Running, queue, outcomes, now) -> None:
         """A worker blew its deadline: terminate it and record a timeout."""
         self._terminate(entry.proc)
         entry.conn.close()
+        detail = f"worker exceeded {self.timeout:.1f}s wall clock and was killed"
+        stderr = entry.stderr_tail()
+        if stderr:
+            detail = f"{detail} [stderr: {stderr}]"
+        entry.cleanup_stderr()
         outcome = IsolatedOutcome(
             "timeout",
-            detail=f"worker exceeded {self.timeout:.1f}s wall clock and was killed",
+            detail=detail,
             wall_time_s=now - entry.started,
             attempts=entry.attempt,
         )

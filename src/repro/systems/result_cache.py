@@ -7,8 +7,22 @@ fingerprint of the simulator's own source code.  Unchanged runs are served
 instantly; touching any input — including the simulator itself — misses
 cleanly instead of serving stale results.
 
-Corrupted or unreadable entries are treated as misses (and removed), never
-as errors: the campaign falls back to re-running the simulation.
+Integrity: every committed entry embeds a SHA-256 checksum of its own
+payload, verified on load.  Corrupted or truncated entries are *quarantined*
+to ``corrupt/`` under the cache root (never silently deleted, so operators
+can inspect what went wrong) and treated as misses: the campaign falls back
+to re-running the simulation.  Writes are write-then-rename with an fsync
+of both the temp file and the directory, so a host power-loss cannot leave
+a zero-length committed entry — the checksum covers whatever torn-write
+window remains.
+
+Capacity: an optional LRU size budget (``max_bytes``) evicts the
+least-recently-used entries once the cache grows past it; a warm index of
+``key → (size, last-used)`` is built from one directory scan at startup.
+
+Every degradation event (quarantine, eviction, stale drop) is counted on
+:class:`CacheStats` so callers can *report* graceful degradation instead of
+leaving it invisible.
 """
 
 from __future__ import annotations
@@ -17,14 +31,22 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 
 #: bump when the serialized RunResult layout changes incompatibly
-CACHE_VERSION = 1
+#: (v2: entries embed an ``integrity`` checksum verified on load)
+CACHE_VERSION = 2
 
 #: environment override for the cache location
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: subdirectory of the cache root holding quarantined (damaged) entries
+CORRUPT_DIR = "corrupt"
+
+#: payload key carrying the embedded checksum
+INTEGRITY_FIELD = "integrity"
 
 
 def default_cache_dir() -> Path:
@@ -58,16 +80,160 @@ def content_key(parts: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-class ResultDiskCache:
-    """Maps content keys to JSON payloads under one directory."""
+def payload_checksum(payload: dict) -> str:
+    """Checksum of a payload's canonical JSON, excluding the checksum field."""
+    body = {k: v for k, v in payload.items() if k != INTEGRITY_FIELD}
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
-    def __init__(self, root: Path | str | None = None, enabled: bool = True):
+
+@dataclass
+class CacheStats:
+    """Degradation and traffic counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_quarantined: int = 0   # damaged entries moved to corrupt/
+    stale_dropped: int = 0         # version-mismatch entries removed
+    evicted: int = 0               # LRU evictions under the size budget
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_quarantined": self.corrupt_quarantined,
+            "stale_dropped": self.stale_dropped,
+            "evicted": self.evicted,
+        }
+
+    def degradation(self) -> dict:
+        """The graceful-degradation subset operators care about."""
+        return {
+            "corrupt_quarantined": self.corrupt_quarantined,
+            "stale_dropped": self.stale_dropped,
+            "evicted": self.evicted,
+        }
+
+
+class ResultDiskCache:
+    """Maps content keys to JSON payloads under one directory.
+
+    ``max_bytes`` enables the LRU size budget: each ``store`` that pushes
+    the total entry size past the budget evicts least-recently-used entries
+    until it fits (the entry just stored is never evicted).
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        enabled: bool = True,
+        max_bytes: int | None = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = enabled
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        #: key → [size_bytes, last_used_tick]; populated by warm_index()
+        self._index: dict[str, list] = {}
+        self._indexed = False
+        self._tick = 0
 
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / CORRUPT_DIR
+
+    def _entry_files(self):
+        """Every committed entry file, excluding the quarantine area."""
+        if not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == CORRUPT_DIR:
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # warm index / LRU bookkeeping
+    # ------------------------------------------------------------------
+    def warm_index(self) -> int:
+        """One directory scan building the ``key → (size, last-used)`` index
+        (last-used seeded from file mtimes).  Returns the entry count."""
+        self._index = {}
+        order = []
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            order.append((stat.st_mtime, path.stem, stat.st_size))
+        order.sort()
+        for mtime, key, size in order:
+            self._tick += 1
+            self._index[key] = [size, self._tick]
+        self._indexed = True
+        return len(self._index)
+
+    def _ensure_index(self) -> None:
+        if not self._indexed:
+            self.warm_index()
+
+    def _touch(self, key: str) -> None:
+        entry = self._index.get(key)
+        if entry is not None:
+            self._tick += 1
+            entry[1] = self._tick
+
+    def total_bytes(self) -> int:
+        self._ensure_index()
+        return sum(size for size, _ in self._index.values())
+
+    def _evict_over_budget(self, protect: str | None = None) -> int:
+        """Drop least-recently-used entries until the budget fits."""
+        if self.max_bytes is None:
+            return 0
+        removed = 0
+        total = self.total_bytes()
+        by_age = sorted(self._index.items(), key=lambda kv: kv[1][1])
+        for key, (size, _) in by_age:
+            if total <= self.max_bytes:
+                break
+            if key == protect:
+                continue
+            self.path_for(key).unlink(missing_ok=True)
+            del self._index[key]
+            total -= size
+            removed += 1
+        self.stats.evicted += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # quarantine
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside instead of deleting the evidence."""
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            target = self.corrupt_dir / path.name
+            n = 0
+            while target.exists():
+                n += 1
+                target = self.corrupt_dir / f"{path.stem}.{n}{path.suffix}"
+            os.replace(path, target)
+        except OSError:
+            path.unlink(missing_ok=True)  # quarantine best-effort, miss regardless
+        self.stats.corrupt_quarantined += 1
+        self._index.pop(path.stem, None)
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
     def load(self, key: str) -> dict | None:
         """The cached payload, or ``None`` on miss *or* corruption."""
         if not self.enabled:
@@ -76,14 +242,26 @@ class ResultDiskCache:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            self.stats.misses += 1
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             # a half-written or damaged entry must behave like a miss
-            path.unlink(missing_ok=True)
+            self._quarantine(path)
+            self.stats.misses += 1
             return None
         if not isinstance(payload, dict) or payload.get("cache_version") != CACHE_VERSION:
+            # an old layout, not damage: drop it so the slot recomputes cleanly
             path.unlink(missing_ok=True)
+            self._index.pop(key, None)
+            self.stats.stale_dropped += 1
+            self.stats.misses += 1
             return None
+        if payload.get(INTEGRITY_FIELD) != payload_checksum(payload):
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(key)
         return payload
 
     def store(self, key: str, payload: dict) -> None:
@@ -92,19 +270,45 @@ class ResultDiskCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"cache_version": CACHE_VERSION, **payload}
-        # write-then-rename so a crashed writer never leaves a torn entry
+        payload[INTEGRITY_FIELD] = payload_checksum(payload)
+        # write-then-rename so a crashed writer never leaves a torn entry;
+        # fsync the file *and* the directory so a host power-loss cannot
+        # leave a committed-but-empty entry behind the rename
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            self._fsync_dir(path.parent)
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+        self.stats.stores += 1
+        if self.max_bytes is not None or self._indexed:
+            self._ensure_index()
+            self._tick += 1
+            self._index[key] = [path.stat().st_size, self._tick]
+            self._evict_over_budget(protect=key)
 
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Delete every entry (and orphaned temp files); returns how many
-        files were removed."""
+        """Delete every entry (including quarantined ones and orphaned temp
+        files); returns how many files were removed."""
         removed = 0
         if not self.root.exists():
             return removed
@@ -112,6 +316,8 @@ class ResultDiskCache:
             for path in self.root.rglob(pattern):
                 path.unlink(missing_ok=True)
                 removed += 1
+        self._index = {}
+        self._indexed = False
         return removed
 
     def prune_tmp(self) -> int:

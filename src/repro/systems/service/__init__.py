@@ -1,0 +1,46 @@
+"""Crash-safe campaign service: journaled jobs, supervised workers, HTTP API.
+
+The long-lived counterpart of :class:`~repro.systems.campaign.CampaignRunner`
+(ROADMAP item 2): clients POST :class:`~repro.systems.campaign.RunSpec`
+batches and poll cycle/energy verdicts back; the service survives worker
+crashes, hangs, cache corruption, journal truncation and its own SIGKILL
+without ever losing, duplicating, or altering a job's result.
+
+Layers (each its own module, composable without the HTTP surface):
+
+* :mod:`.journal` — the JSONL write-ahead journal; every job-state change
+  is fsync'd before it is acknowledged, and startup replay resumes exactly
+  where a crash left off (torn trailing writes are tolerated).
+* :mod:`.jobs`    — :class:`JobStore`: in-memory job table + queue kept
+  consistent with the journal.
+* :mod:`.supervisor` — feeds queued jobs through
+  :class:`~repro.systems.isolation.IsolatedExecutor` with per-job
+  deadlines, retries with jittered backoff, and a circuit breaker that
+  quarantines chronically dying (workload, system) cells.
+* :mod:`.server`  — the stdlib asyncio HTTP+JSON surface with admission
+  control (bounded queue → 429, schema validation → 400, per-client caps).
+* :mod:`.client`  — the blocking HTTP client behind ``repro submit`` and
+  the chaos suite.
+"""
+
+from .journal import JobJournal, JobRecord, JobState, TERMINAL_STATES
+from .jobs import JobStore
+from .supervisor import Supervisor, SupervisorConfig
+from .server import AdmissionConfig, CampaignService, validate_submission
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+
+__all__ = [
+    "AdmissionConfig",
+    "CampaignService",
+    "JobJournal",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "Supervisor",
+    "SupervisorConfig",
+    "TERMINAL_STATES",
+    "validate_submission",
+]

@@ -1,0 +1,135 @@
+"""Blocking HTTP client for the campaign service (``repro submit``).
+
+Stdlib ``http.client`` only; every method opens a fresh connection (the
+server closes after each response).  ``wait_ready`` polls ``/healthz`` so
+callers can start a server process and submit without racing its bind.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from ...errors import ReproError
+
+
+class ServiceUnavailable(ReproError):
+    """The service did not answer (connection refused / timed out)."""
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, payload):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                decoded = json.loads(raw.decode("utf-8"))
+            else:
+                decoded = raw.decode("utf-8", errors="replace")
+            return response.status, dict(response.getheaders()), decoded
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceUnavailable(
+                f"campaign service at {self.host}:{self.port} unreachable: {exc}"
+            ) from None
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, body: dict | None = None):
+        status, headers, payload = self._request(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
+        """Poll /healthz until the service answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServiceUnavailable as exc:
+                last = exc
+                time.sleep(interval)
+        raise ServiceUnavailable(
+            f"campaign service at {self.host}:{self.port} not ready "
+            f"after {timeout:.1f}s: {last}"
+        )
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._checked("GET", "/metrics")
+
+    def submit(self, specs: list[dict], client: str = "anonymous",
+               batch: str | None = None) -> dict:
+        body = {"specs": specs, "client": client}
+        if batch:
+            body["batch"] = batch
+        return self._checked("POST", "/jobs", body)
+
+    def submit_raw(self, body: dict):
+        """Unchecked submit: returns (status, headers, payload) for tests
+        probing the 4xx surface."""
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def events(self, since: int = -1) -> dict:
+        return self._checked("GET", f"/events?since={since}")
+
+    def wait_jobs(self, job_ids: list[str], timeout: float = 300.0,
+                  interval: float = 0.2) -> dict[str, dict]:
+        """Poll until every job reaches a terminal state; returns records."""
+        from .journal import TERMINAL_STATES
+
+        terminal = {state.value for state in TERMINAL_STATES}
+        deadline = time.monotonic() + timeout
+        records: dict[str, dict] = {}
+        remaining = list(job_ids)
+        while remaining and time.monotonic() < deadline:
+            still = []
+            for job_id in remaining:
+                record = self.job(job_id)
+                if record["state"] in terminal:
+                    records[job_id] = record
+                else:
+                    still.append(job_id)
+            remaining = still
+            if remaining:
+                time.sleep(interval)
+        if remaining:
+            raise ServiceUnavailable(
+                f"jobs did not reach a terminal state within {timeout:.0f}s: {remaining}"
+            )
+        return records

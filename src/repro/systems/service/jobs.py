@@ -1,0 +1,141 @@
+"""The job store: in-memory job table kept consistent with the journal.
+
+Single-writer by design — every mutation happens on the service's event
+loop, journals first, then updates memory, so the durable record is never
+behind the acknowledged one.  The store owns the FIFO queue the supervisor
+drains and the per-client accounting admission control consults.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from collections import Counter, deque
+
+from ...errors import ConfigError
+from .journal import JobJournal, JobRecord, JobState, TERMINAL_STATES
+
+
+class JobStore:
+    """Journal-backed table of every job the service has ever accepted."""
+
+    def __init__(self, journal: JobJournal):
+        self.journal = journal
+        self.jobs: dict[str, JobRecord] = {}
+        self.order: list[str] = []
+        self._queue: deque[str] = deque()
+        self._seq = itertools.count(1)
+        #: service-level degradation / traffic counters
+        self.counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+    def recover(self) -> list[JobRecord]:
+        """Replay the journal; returns the jobs re-queued by recovery."""
+        summary = self.journal.replay()
+        self.jobs = summary.jobs
+        self.order = summary.order
+        self._queue = deque(
+            job_id for job_id in summary.order
+            if self.jobs[job_id].state is JobState.QUEUED
+        )
+        self.counters["journal_torn_lines"] += summary.torn_lines
+        recovered = [self.jobs[j] for j in summary.recovered]
+        for job in recovered:
+            # the requeue is durable too: a second crash must not re-read
+            # the stale 'running' line and double-count the recovery
+            self.journal.log_state(job.job_id, JobState.QUEUED, recovered=True)
+        self.counters["jobs_recovered"] += len(recovered)
+        # keep the id sequence clear of everything already in the journal
+        self._seq = itertools.count(len(self.order) + 1)
+        return recovered
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, specs: list[dict], client: str, batch: str | None = None) -> list[JobRecord]:
+        """Journal and enqueue one batch; the records are durable on return."""
+        if not specs:
+            raise ConfigError("a submission needs at least one run spec")
+        batch_id = batch or f"b{uuid.uuid4().hex[:10]}"
+        records = []
+        for spec in specs:
+            job = JobRecord(
+                job_id=f"j{next(self._seq):06d}-{uuid.uuid4().hex[:8]}",
+                spec=dict(spec),
+                client=client,
+                batch=batch_id,
+            )
+            self.journal.log_submit(job)
+            self.jobs[job.job_id] = job
+            self.order.append(job.job_id)
+            self._queue.append(job.job_id)
+            records.append(job)
+        self.counters["jobs_submitted"] += len(records)
+        return records
+
+    # ------------------------------------------------------------------
+    # queue
+    # ------------------------------------------------------------------
+    def next_queued(self) -> JobRecord | None:
+        while self._queue:
+            job = self.jobs[self._queue.popleft()]
+            if job.state is JobState.QUEUED:
+                return job
+        return None
+
+    def requeue(self, job: JobRecord) -> None:
+        """Put an interrupted job back at the end of the queue (drain path)."""
+        self.journal.log_state(job.job_id, JobState.QUEUED, requeued=True)
+        job.state = JobState.QUEUED
+        self._queue.append(job.job_id)
+
+    @property
+    def queued(self) -> int:
+        return sum(1 for j in self.jobs.values() if j.state is JobState.QUEUED)
+
+    @property
+    def running(self) -> int:
+        return sum(1 for j in self.jobs.values() if j.state is JobState.RUNNING)
+
+    def active_for(self, client: str) -> int:
+        """Jobs this client has in a non-terminal state (admission cap)."""
+        return sum(
+            1 for j in self.jobs.values()
+            if j.client == client and j.state not in TERMINAL_STATES
+        )
+
+    def state_counts(self) -> dict[str, int]:
+        counts = Counter(j.state.value for j in self.jobs.values())
+        return {state.value: counts.get(state.value, 0) for state in JobState}
+
+    # ------------------------------------------------------------------
+    # transitions (journal first, memory second)
+    # ------------------------------------------------------------------
+    def mark_running(self, job: JobRecord, attempt: int) -> None:
+        self.journal.log_state(job.job_id, JobState.RUNNING, attempt=attempt)
+        job.state = JobState.RUNNING
+        job.attempts = attempt
+
+    def mark_done(self, job: JobRecord, result: dict, source: str) -> None:
+        self.journal.log_state(job.job_id, JobState.DONE, result=result, source=source)
+        job.state = JobState.DONE
+        job.result = result
+        job.source = source
+        self.counters["jobs_done"] += 1
+        self.counters[f"jobs_done_{source}"] += 1
+
+    def mark_failed(self, job: JobRecord, kind: str, cause: str, attempts: int) -> None:
+        error = {"kind": kind, "cause": cause, "attempts": attempts}
+        self.journal.log_state(job.job_id, JobState.FAILED, error=error)
+        job.state = JobState.FAILED
+        job.error = error
+        self.counters["jobs_failed"] += 1
+
+    def mark_given_up(self, job: JobRecord, reason: str) -> None:
+        error = {"kind": "given_up", "cause": reason, "attempts": job.attempts}
+        self.journal.log_state(job.job_id, JobState.GIVEN_UP, error=error)
+        job.state = JobState.GIVEN_UP
+        job.error = error
+        self.counters["jobs_given_up"] += 1

@@ -1,0 +1,243 @@
+"""The write-ahead job journal: crash safety as an append-only JSONL file.
+
+Every job-state transition is one JSON line, fsync'd before the service
+acknowledges anything that depends on it (a 202 for a submission, a poll
+answer for a terminal state).  On startup the journal is *replayed*: the
+job table is rebuilt line by line, jobs that were ``running`` when the
+process died are re-queued (counted as recovered), and jobs that reached a
+terminal state keep it — a completed result can never be recomputed into
+something different, and a queued job can never be dropped.
+
+Torn writes are expected, not fatal: a crash (or an injected journal
+truncation) can leave a half-written final line, which replay skips and
+counts.  Everything before the tear is intact because lines are only
+appended, never rewritten.
+
+Record vocabulary (one JSON object per line):
+
+* ``{"op": "submit", "job", "spec", "client", "batch"}``
+* ``{"op": "state", "job", "state", ...}`` — ``running`` carries
+  ``attempt``; ``done`` carries the canonical ``result`` dict and its
+  ``source``; ``failed``/``given_up`` carry an ``error`` dict;
+  ``queued`` re-queues (recovery, explicit retry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+
+class JobState(str, Enum):
+    """Lifecycle of one submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"        # all attempts exhausted
+    GIVEN_UP = "given_up"    # quarantined cell / drained before start
+
+    @property
+    def terminal(self) -> bool:
+        return self in TERMINAL_STATES
+
+
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.GIVEN_UP})
+
+
+@dataclass
+class JobRecord:
+    """One job's full current state, as reconstructed from the journal."""
+
+    job_id: str
+    spec: dict                      # RunSpec.to_dict()
+    client: str = "anonymous"
+    batch: str = ""
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    result: dict | None = None      # canonical RunResult dict when DONE
+    source: str = ""                # "computed" | "cache" | "journal"
+    error: dict | None = None       # {"kind", "cause", "attempts"} when failed
+    recovered: int = 0              # times journal replay re-queued this job
+
+    @property
+    def label(self) -> str:
+        stage = f"[{self.spec.get('dsa_stage')}]" if self.spec.get("system") == "neon_dsa" else ""
+        return f"{self.spec.get('workload')}/{self.spec.get('system')}{stage}"
+
+    @property
+    def cell(self) -> tuple[str, str]:
+        """The circuit-breaker granularity: (workload, system)."""
+        return (self.spec.get("workload", "?"), self.spec.get("system", "?"))
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job_id,
+            "spec": dict(self.spec),
+            "client": self.client,
+            "batch": self.batch,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "result": self.result,
+            "source": self.source,
+            "error": self.error,
+            "recovered": self.recovered,
+        }
+
+
+@dataclass
+class ReplaySummary:
+    """What startup replay found in the journal."""
+
+    jobs: dict[str, JobRecord] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)   # submission order
+    recovered: list[str] = field(default_factory=list)  # re-queued job ids
+    torn_lines: int = 0                              # skipped damaged lines
+
+
+class JobJournal:
+    """Append-only JSONL journal with fsync'd writes and tolerant replay."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _handle(self):
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # a crash can leave the file ending in a torn, newline-less
+            # line; appending straight after it would weld the new record
+            # onto the damage.  Terminate the tear first so the next
+            # record starts on its own line.
+            needs_newline = False
+            try:
+                with open(self.path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    needs_newline = probe.read(1) != b"\n"
+            except (FileNotFoundError, OSError):
+                pass
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if needs_newline:
+                self._fh.write("\n")
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        return self._fh
+
+    def append(self, record: dict) -> None:
+        """Write one record durably: the line is on disk when this returns."""
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True))
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+    # -- the ops the job store emits -----------------------------------
+    def log_submit(self, job: JobRecord) -> None:
+        self.append({
+            "op": "submit",
+            "job": job.job_id,
+            "spec": job.spec,
+            "client": job.client,
+            "batch": job.batch,
+        })
+
+    def log_state(self, job_id: str, state: JobState, **extra) -> None:
+        self.append({"op": "state", "job": job_id, "state": state.value, **extra})
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self) -> ReplaySummary:
+        """Rebuild the job table; re-queue jobs interrupted mid-run.
+
+        Damaged lines (torn trailing write, bit-rot) are skipped and
+        counted — an op that never hit the disk intact is an op that never
+        durably happened, so skipping reproduces the pre-crash state.
+        """
+        summary = ReplaySummary()
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return summary
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                summary.torn_lines += 1
+                continue
+            if not isinstance(record, dict):
+                summary.torn_lines += 1
+                continue
+            self._apply(record, summary)
+        # jobs caught mid-run by the crash go back to the queue: the run
+        # they were computing produced no durable result, so re-running it
+        # is the only way every job reaches a terminal state exactly once
+        for job in summary.jobs.values():
+            if job.state is JobState.RUNNING:
+                job.state = JobState.QUEUED
+                job.recovered += 1
+                summary.recovered.append(job.job_id)
+        return summary
+
+    @staticmethod
+    def _apply(record: dict, summary: ReplaySummary) -> None:
+        op = record.get("op")
+        job_id = record.get("job")
+        if not isinstance(job_id, str):
+            summary.torn_lines += 1
+            return
+        if op == "submit":
+            spec = record.get("spec")
+            if not isinstance(spec, dict):
+                summary.torn_lines += 1
+                return
+            if job_id not in summary.jobs:  # duplicate submits are idempotent
+                summary.jobs[job_id] = JobRecord(
+                    job_id=job_id,
+                    spec=spec,
+                    client=str(record.get("client", "anonymous")),
+                    batch=str(record.get("batch", "")),
+                )
+                summary.order.append(job_id)
+            return
+        if op == "state":
+            job = summary.jobs.get(job_id)
+            if job is None:
+                # a state line whose submit was lost to a tear: nothing to
+                # attach it to; the submission was never acknowledged
+                summary.torn_lines += 1
+                return
+            if job.state.terminal:
+                return  # terminal is forever; late lines cannot resurrect it
+            try:
+                state = JobState(record.get("state"))
+            except ValueError:
+                summary.torn_lines += 1
+                return
+            job.state = state
+            if state is JobState.RUNNING:
+                job.attempts = int(record.get("attempt", job.attempts + 1))
+            elif state is JobState.DONE:
+                job.result = record.get("result")
+                job.source = str(record.get("source", "computed"))
+                if job.result is None:
+                    # a done line without its payload is damage: re-queue
+                    job.state = JobState.QUEUED
+                    summary.torn_lines += 1
+            elif state in (JobState.FAILED, JobState.GIVEN_UP):
+                error = record.get("error")
+                job.error = error if isinstance(error, dict) else {"kind": "unknown", "cause": ""}
+            return
+        summary.torn_lines += 1

@@ -1,0 +1,299 @@
+"""The service's HTTP+JSON surface: stdlib asyncio, no framework.
+
+Endpoints
+---------
+``POST /jobs``        submit a batch of RunSpecs → 202 with job ids
+``GET  /jobs``        summary of every job the service knows
+``GET  /jobs/<id>``   one job's full record (result inline when done)
+``GET  /healthz``     liveness + state counts + degradation counters
+``GET  /metrics``     Prometheus textfile (observe exporter + service counters)
+``GET  /events``      observe-bus progress events (``?since=<seq>`` to tail)
+
+Admission control happens *before* anything is journaled: a malformed
+submission gets a structured 400 naming each bad spec, a full queue or a
+client over its concurrency cap gets 429 with ``Retry-After`` — the
+backpressure contract that keeps the journal bounded under overload.  A
+request that is acknowledged with 202 is durable: its submit records are
+fsync'd to the journal before the response bytes leave the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from ...errors import ConfigError, ReproError
+from ...observe.events import EventKind
+from ...observe.export import prometheus_text
+from ..campaign import RunSpec, build_workload
+from .jobs import JobStore
+from .supervisor import Supervisor
+
+#: request body size cap: a RunSpec batch is small; anything huge is abuse
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class AdmissionConfig:
+    """What the service will accept before pushing back."""
+
+    max_queue: int = 256         # queued jobs before 429
+    per_client_limit: int = 64   # non-terminal jobs one client may hold
+    retry_after_s: int = 2       # hint sent with every 429
+
+
+def validate_submission(payload) -> tuple[list[dict], list[dict]]:
+    """Check a POST /jobs body; returns (normalized specs, structured errors).
+
+    Every error names the offending spec index and says what is wrong, so a
+    client can fix its request instead of guessing.
+    """
+    errors: list[dict] = []
+    if not isinstance(payload, dict):
+        return [], [{"index": None, "error": "body must be a JSON object"}]
+    raw = payload.get("specs")
+    if not isinstance(raw, list) or not raw:
+        return [], [{"index": None, "error": "'specs' must be a non-empty list"}]
+    specs: list[dict] = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, dict):
+            errors.append({"index": index, "error": "spec must be a JSON object"})
+            continue
+        try:
+            spec = RunSpec.from_dict(item)
+            build_workload(spec)  # rejects unknown workload / microkernel ids
+        except (ConfigError, ReproError) as exc:
+            errors.append({"index": index, "error": str(exc)})
+        except TypeError as exc:
+            errors.append({"index": index, "error": f"bad spec fields: {exc}"})
+        else:
+            specs.append(spec.to_dict())
+    return specs, errors
+
+
+class CampaignService:
+    """Routes HTTP requests onto the job store and supervisor."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        supervisor: Supervisor,
+        admission: AdmissionConfig | None = None,
+        observer=None,
+    ):
+        self.store = store
+        self.supervisor = supervisor
+        self.admission = admission or AdmissionConfig()
+        self.observer = observer
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        # fork'd workers inherit these listening fds; they must close them
+        # at birth or an orphaned (hung) worker would keep the port bound
+        # after a SIGKILL'd service dies, blocking its restart
+        self.supervisor.worker_close_fds[:] = [
+            sock.fileno() for sock in self._server.sockets
+        ]
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            status, headers, payload = self._route(method, path, query, body)
+            await self._respond(writer, status, headers, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = b""
+        if 0 < length <= MAX_BODY_BYTES:
+            body = await reader.readexactly(length)
+        path, _, query_string = target.partition("?")
+        query = {}
+        for pair in query_string.split("&"):
+            if "=" in pair:
+                k, _, v = pair.partition("=")
+                query[k] = v
+        return method.upper(), path, query, body
+
+    async def _respond(self, writer, status: tuple[int, str], headers: dict, payload):
+        code, reason = status
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = str(payload).encode("utf-8")
+            content_type = headers.pop("content-type", "text/plain; charset=utf-8")
+        head = [f"HTTP/1.1 {code} {reason}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        head += [f"{k}: {v}" for k, v in headers.items()]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, path: str, query: dict, body: bytes):
+        if method == "POST" and path == "/jobs":
+            return self._post_jobs(body)
+        if method == "GET" and path == "/jobs":
+            return self._get_jobs()
+        if method == "GET" and path.startswith("/jobs/"):
+            return self._get_job(path[len("/jobs/"):])
+        if method == "GET" and path == "/healthz":
+            return self._get_healthz()
+        if method == "GET" and path == "/metrics":
+            return self._get_metrics()
+        if method == "GET" and path == "/events":
+            return self._get_events(query)
+        return (404, "Not Found"), {}, {"error": f"no route for {method} {path}"}
+
+    # -- submission ----------------------------------------------------
+    def _post_jobs(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return (400, "Bad Request"), {}, {
+                "error": "body is not valid JSON", "details": [{"error": str(exc)}],
+            }
+        specs, errors = validate_submission(payload)
+        if errors:
+            self._reject("validation")
+            return (400, "Bad Request"), {}, {
+                "error": "invalid submission", "details": errors,
+            }
+        client = str(payload.get("client", "anonymous"))
+        adm = self.admission
+        if self.supervisor.draining:
+            self._reject("draining")
+            return (503, "Service Unavailable"), {
+                "Retry-After": str(adm.retry_after_s),
+            }, {"error": "service is draining"}
+        if self.store.queued + len(specs) > adm.max_queue:
+            self._reject("queue_full")
+            self.store.counters["rejected_backpressure"] += 1
+            return (429, "Too Many Requests"), {
+                "Retry-After": str(adm.retry_after_s),
+            }, {
+                "error": "queue full",
+                "queued": self.store.queued,
+                "max_queue": adm.max_queue,
+            }
+        if self.store.active_for(client) + len(specs) > adm.per_client_limit:
+            self._reject("client_limit")
+            self.store.counters["rejected_client_limit"] += 1
+            return (429, "Too Many Requests"), {
+                "Retry-After": str(adm.retry_after_s),
+            }, {
+                "error": f"client {client!r} over its concurrent-job limit",
+                "active": self.store.active_for(client),
+                "per_client_limit": adm.per_client_limit,
+            }
+        records = self.store.submit(specs, client=client, batch=payload.get("batch"))
+        if self.observer is not None:
+            for job in records:
+                self.observer.emit(EventKind.JOB_ADMITTED, job=job.job_id, client=client)
+        self.supervisor.kick()
+        return (202, "Accepted"), {}, {
+            "batch": records[0].batch,
+            "jobs": [job.job_id for job in records],
+        }
+
+    def _reject(self, reason: str) -> None:
+        if self.observer is not None:
+            self.observer.emit(EventKind.JOB_REJECTED, reason=reason)
+
+    # -- inspection ----------------------------------------------------
+    def _get_jobs(self):
+        return (200, "OK"), {}, {
+            "jobs": [
+                {"job": j.job_id, "label": j.label, "state": j.state.value,
+                 "batch": j.batch, "client": j.client}
+                for j in (self.store.jobs[i] for i in self.store.order)
+            ],
+        }
+
+    def _get_job(self, job_id: str):
+        job = self.store.jobs.get(job_id)
+        if job is None:
+            return (404, "Not Found"), {}, {"error": f"unknown job {job_id!r}"}
+        return (200, "OK"), {}, job.to_dict()
+
+    def _get_healthz(self):
+        return (200, "OK"), {}, {
+            "status": "draining" if self.supervisor.draining else "ok",
+            "jobs": self.store.state_counts(),
+            "queued": self.store.queued,
+            "quarantined": self.supervisor.quarantined_cells,
+            "degradation": self.supervisor.degradation(),
+        }
+
+    def _get_metrics(self):
+        lines = []
+        if self.observer is not None:
+            lines.append(prometheus_text(self.observer).rstrip("\n"))
+        lines += [
+            "# HELP repro_service_jobs Jobs by state.",
+            "# TYPE repro_service_jobs gauge",
+        ]
+        for state, count in sorted(self.store.state_counts().items()):
+            lines.append(f'repro_service_jobs{{state="{state}"}} {count}')
+        lines += [
+            "# HELP repro_service_degradation_total Graceful-degradation events.",
+            "# TYPE repro_service_degradation_total counter",
+        ]
+        for name, value in sorted(self.supervisor.degradation().items()):
+            lines.append(f'repro_service_degradation_total{{kind="{name}"}} {value}')
+        return (200, "OK"), {"content-type": "text/plain; version=0.0.4"}, "\n".join(lines) + "\n"
+
+    def _get_events(self, query: dict):
+        try:
+            since = int(query.get("since", "-1"))
+        except ValueError:
+            since = -1
+        events = []
+        if self.observer is not None:
+            events = [e.to_dict() for e in self.observer.events if e.seq > since]
+        next_seq = events[-1]["seq"] if events else since
+        return (200, "OK"), {}, {"events": events, "next": next_seq}

@@ -85,7 +85,8 @@ class TestTmpHygiene:
         (sub / "orphan1.tmp").write_text("torn")
         (sub / "orphan2.tmp").write_text("torn")
         assert cache.prune_tmp() == 2
-        assert cache.load("ab" + "0" * 62) == {"cache_version": CACHE_VERSION, "keep": True}
+        loaded = cache.load("ab" + "0" * 62)
+        assert loaded["cache_version"] == CACHE_VERSION and loaded["keep"] is True
         assert cache.prune_tmp() == 0
 
     def test_clear_removes_entries_and_orphans(self, tmp_path):

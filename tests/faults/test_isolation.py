@@ -31,6 +31,10 @@ def _toy_worker(task, attempt):
         if attempt < payload:
             raise RuntimeError(f"attempt {attempt} too early")
         return f"ok on {attempt}"
+    if verb == "stderr_exit":
+        # the shape of a native abort: a last scream on stderr, then death
+        print(f"fatal: {payload}", file=__import__("sys").stderr, flush=True)
+        os._exit(70)
     raise AssertionError(f"unknown verb {verb}")
 
 
@@ -81,6 +85,40 @@ class TestRetries:
         (outcome,) = executor.run([("exit", 3)])
         assert outcome.status == "crash"
         assert outcome.attempts == 2
+
+
+class TestPostMortemDiagnostics:
+    def test_raised_exception_carries_its_traceback(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1)
+        (outcome,) = executor.run([("raise", "diagnosable")])
+        assert outcome.status == "error"
+        assert "ValueError: boom diagnosable" in outcome.detail
+        assert "[traceback:" in outcome.detail
+        assert "_toy_worker" in outcome.detail  # the frame that raised
+
+    def test_hard_exit_carries_the_stderr_tail(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1)
+        (outcome,) = executor.run([("stderr_exit", "bus error at 0xdead")])
+        assert outcome.status == "crash"
+        assert "exit code 70" in outcome.detail
+        assert "[stderr: fatal: bus error at 0xdead]" in outcome.detail
+
+    def test_silent_hard_exit_reports_just_the_exit_code(self):
+        executor = IsolatedExecutor(_toy_worker, jobs=1)
+        (outcome,) = executor.run([("exit", 3)])
+        assert "exit code 3" in outcome.detail
+        assert "[stderr:" not in outcome.detail
+
+    def test_stderr_scratch_files_are_cleaned_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        import tempfile
+        tempfile.tempdir = None  # re-read TMPDIR
+        try:
+            executor = IsolatedExecutor(_toy_worker, jobs=2)
+            executor.run([("ok", 1), ("stderr_exit", "x"), ("raise", "y")])
+            assert list(tmp_path.glob("repro-worker-*.stderr")) == []
+        finally:
+            tempfile.tempdir = None
 
 
 class TestOnComplete:

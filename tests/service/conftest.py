@@ -1,0 +1,156 @@
+"""Shared fixtures for the campaign-service chaos suite.
+
+:class:`ServiceHarness` boots the whole service stack — journal, job
+store, supervisor, HTTP server — inside a background thread running its
+own event loop, so synchronous tests can drive it through the blocking
+:class:`~repro.systems.service.ServiceClient` exactly the way ``repro
+submit`` does.  Harnesses are cheap to stop and reboot on the same
+journal, which is how the in-process crash/recovery scenarios simulate a
+service restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.observe import Observer
+from repro.systems.service import (
+    AdmissionConfig,
+    CampaignService,
+    JobJournal,
+    JobStore,
+    ServiceClient,
+    Supervisor,
+    SupervisorConfig,
+)
+
+#: a cheap four-cell matrix (microkernels simulate in milliseconds)
+SPECS = [
+    {"workload": "micro:count", "system": "neon_dsa"},
+    {"workload": "micro:sentinel", "system": "arm_original"},
+    {"workload": "micro:conditional", "system": "neon_dsa"},
+    {"workload": "micro:partial", "system": "neon_autovec"},
+]
+
+#: supervisor policy tuned for test speed, not production patience
+FAST = dict(jobs=2, timeout=30.0, retries=1, backoff=0.05, jitter=0.0)
+
+
+class ServiceHarness:
+    """One bootable service instance over a journal + cache directory."""
+
+    def __init__(
+        self,
+        root: Path,
+        config: SupervisorConfig | None = None,
+        admission: AdmissionConfig | None = None,
+        fault_plan=None,
+        journal_name: str = "journal.jsonl",
+        cache_name: str = "cache",
+        cache_max_bytes: int | None = None,
+        use_cache: bool = True,
+    ):
+        self.root = Path(root)
+        self.config = config or SupervisorConfig(**FAST)
+        self.admission = admission
+        self.fault_plan = fault_plan
+        self.journal_path = self.root / journal_name
+        self.cache_dir = self.root / cache_name
+        self.cache_max_bytes = cache_max_bytes
+        self.use_cache = use_cache
+        self.host = ""
+        self.port = 0
+        self.recovered = []
+        self.store: JobStore | None = None
+        self.supervisor: Supervisor | None = None
+        self.observer: Observer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceHarness":
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service harness did not come up")
+        if self._error is not None:
+            raise RuntimeError(f"service harness failed to boot: {self._error!r}")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        journal = JobJournal(self.journal_path)
+        store = JobStore(journal)
+        self.recovered = store.recover()
+        observer = Observer()
+        supervisor = Supervisor(
+            store,
+            self.config,
+            cache_dir=self.cache_dir,
+            use_cache=self.use_cache,
+            cache_max_bytes=self.cache_max_bytes,
+            fault_plan=self.fault_plan,
+            observer=observer,
+        )
+        service = CampaignService(
+            store, supervisor, admission=self.admission, observer=observer,
+        )
+        self.store, self.supervisor, self.observer = store, supervisor, observer
+        self.host, self.port = await service.start()
+        run_task = asyncio.create_task(supervisor.run())
+        self._ready.set()
+        await self._stop_event.wait()
+        await supervisor.drain()
+        await service.stop()
+        run_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await run_task
+        journal.close()
+
+    # ------------------------------------------------------------------
+    def client(self, timeout: float = 15.0) -> ServiceClient:
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+
+@pytest.fixture
+def harness_factory(tmp_path):
+    """Build (and reliably tear down) ServiceHarness instances."""
+    started: list[ServiceHarness] = []
+
+    def make(**kwargs) -> ServiceHarness:
+        harness = ServiceHarness(tmp_path, **kwargs).start()
+        started.append(harness)
+        return harness
+
+    yield make
+    for harness in started:
+        harness.stop()
+
+
+@pytest.fixture
+def harness(harness_factory):
+    """One default-policy service over a fresh journal."""
+    return harness_factory()

@@ -1,0 +1,143 @@
+"""The HTTP surface: admission control, validation errors, observability.
+
+Backpressure is a feature with a contract — a client must always learn
+*why* it was refused and when to come back — so every rejection path is
+pinned here, along with the read-only endpoints operators script against.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.systems.service import AdmissionConfig, ServiceError
+
+from .conftest import SPECS
+
+
+def _reject(client, body):
+    status, headers, payload = client.submit_raw(body)
+    return status, {k.lower(): v for k, v in headers.items()}, payload
+
+
+class TestValidation:
+    def test_invalid_json_is_a_structured_400(self, harness):
+        url = f"http://{harness.host}:{harness.port}/jobs"
+        request = urllib.request.Request(
+            url, data=b"{not json", headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+        payload = json.loads(err.value.read())
+        assert payload["error"] == "body is not valid JSON"
+
+    def test_every_bad_spec_is_named_by_index(self, harness):
+        status, _, payload = _reject(harness.client(), {"specs": [
+            SPECS[0],                                     # fine
+            {"workload": "no:such:workload", "system": "neon_dsa"},
+            "not an object",
+            {"workload": "micro:count", "system": "warp_drive"},
+        ]})
+        assert status == 400
+        indexes = [d["index"] for d in payload["details"]]
+        assert indexes == [1, 2, 3]
+        assert all(d["error"] for d in payload["details"])
+
+    def test_empty_specs_rejected(self, harness):
+        status, _, payload = _reject(harness.client(), {"specs": []})
+        assert status == 400
+        assert "non-empty" in payload["details"][0]["error"]
+
+    def test_nothing_invalid_reaches_the_journal(self, harness):
+        _reject(harness.client(), {"specs": [{"workload": "bogus", "system": "x"}]})
+        assert not harness.journal_path.exists() or not harness.journal_path.read_text()
+
+
+class TestBackpressure:
+    def test_full_queue_gets_429_with_retry_after(self, harness_factory):
+        harness = harness_factory(admission=AdmissionConfig(max_queue=1, retry_after_s=7))
+        status, headers, payload = _reject(
+            harness.client(), {"specs": SPECS[:2], "client": "t"},
+        )
+        assert status == 429
+        assert headers["retry-after"] == "7"
+        assert payload["error"] == "queue full"
+        assert payload["max_queue"] == 1
+
+    def test_client_over_its_cap_gets_429(self, harness_factory):
+        harness = harness_factory(admission=AdmissionConfig(per_client_limit=1))
+        status, headers, payload = _reject(
+            harness.client(), {"specs": SPECS[:2], "client": "greedy"},
+        )
+        assert status == 429
+        assert "retry-after" in headers
+        assert "greedy" in payload["error"]
+        # a different client is not punished for it
+        accepted = harness.client().submit(SPECS[:1], client="modest")
+        assert len(accepted["jobs"]) == 1
+
+    def test_draining_service_answers_503(self, harness):
+        client = harness.client()
+        harness.supervisor._draining = True
+        try:
+            status, headers, payload = _reject(client, {"specs": SPECS[:1]})
+        finally:
+            harness.supervisor._draining = False
+        assert status == 503
+        assert "retry-after" in headers
+        assert payload["error"] == "service is draining"
+
+    def test_rejections_are_visible_on_the_event_bus(self, harness_factory):
+        harness = harness_factory(admission=AdmissionConfig(max_queue=0))
+        client = harness.client()
+        _reject(client, {"specs": SPECS[:1]})
+        events = client.events()["events"]
+        assert any(
+            e["kind"] == "job_rejected" and e["args"]["reason"] == "queue_full"
+            for e in events
+        )
+
+
+class TestInspection:
+    def test_unknown_job_is_404(self, harness):
+        with pytest.raises(ServiceError) as err:
+            harness.client().job("j999999-deadbeef")
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, harness):
+        with pytest.raises(ServiceError) as err:
+            harness.client()._checked("GET", "/teapot")
+        assert err.value.status == 404
+
+    def test_healthz_shape(self, harness):
+        health = harness.client().healthz()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed", "given_up"}
+        assert set(health["degradation"]) == {
+            "quarantined_cells", "cache_corrupt_quarantined", "cache_evicted",
+            "cache_stale_dropped", "jobs_recovered", "journal_torn_lines",
+        }
+
+    def test_jobs_listing_and_metrics_track_a_batch(self, harness):
+        client = harness.client()
+        accepted = client.submit(SPECS[:2], client="t")
+        client.wait_jobs(accepted["jobs"], timeout=120)
+        listing = client.jobs()
+        assert [j["job"] for j in listing] == accepted["jobs"]
+        assert all(j["state"] == "done" for j in listing)
+
+        metrics = client.metrics()
+        assert 'repro_service_jobs{state="done"} 2' in metrics
+        assert 'repro_service_degradation_total{kind="jobs_recovered"} 0' in metrics
+
+    def test_events_tail_with_since(self, harness):
+        client = harness.client()
+        accepted = client.submit(SPECS[:1], client="t")
+        client.wait_jobs(accepted["jobs"], timeout=120)
+        first = client.events()
+        assert any(e["kind"] == "job_admitted" for e in first["events"])
+        assert any(e["kind"] == "job_done" for e in first["events"])
+        tail = client.events(since=first["next"])
+        assert tail["events"] == []

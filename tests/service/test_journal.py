@@ -1,0 +1,188 @@
+"""Write-ahead journal semantics: durable, torn-tolerant, replayable.
+
+The journal is the service's only crash-safety mechanism, so these tests
+pin its contract directly: every acknowledged transition survives replay,
+damage never cascades past the damaged line, terminal states are forever,
+and a job caught mid-run is re-queued exactly once.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.systems.service import JobJournal, JobState, JobStore
+
+SPEC = {"workload": "micro:count", "system": "neon_dsa",
+        "dsa_stage": "full", "scale": "test", "seed": None}
+
+
+def _journal(tmp_path) -> JobJournal:
+    return JobJournal(tmp_path / "journal.jsonl")
+
+
+def _submit_one(tmp_path):
+    journal = _journal(tmp_path)
+    store = JobStore(journal)
+    store.recover()
+    (job,) = store.submit([SPEC], client="t")
+    return journal, store, job
+
+
+class TestRoundTrip:
+    def test_submit_and_transitions_survive_replay(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        store.mark_running(job, attempt=1)
+        store.mark_done(job, {"cycles": 42}, source="computed")
+        journal.close()
+
+        summary = _journal(tmp_path).replay()
+        replayed = summary.jobs[job.job_id]
+        assert replayed.state is JobState.DONE
+        assert replayed.result == {"cycles": 42}
+        assert replayed.source == "computed"
+        assert replayed.attempts == 1
+        assert summary.order == [job.job_id]
+        assert summary.torn_lines == 0
+        assert summary.recovered == []
+
+    def test_empty_or_missing_journal_is_a_clean_start(self, tmp_path):
+        summary = _journal(tmp_path).replay()
+        assert summary.jobs == {} and summary.torn_lines == 0
+
+    def test_submission_requires_specs(self, tmp_path):
+        journal, store, _ = _submit_one(tmp_path)
+        with pytest.raises(ConfigError):
+            store.submit([], client="t")
+
+
+class TestRecovery:
+    def test_running_job_is_requeued_and_counted(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        store.mark_running(job, attempt=1)
+        journal.close()  # SIGKILL: the done line never happened
+
+        summary = _journal(tmp_path).replay()
+        replayed = summary.jobs[job.job_id]
+        assert replayed.state is JobState.QUEUED
+        assert replayed.recovered == 1
+        assert replayed.attempts == 1  # the interrupted attempt still counts
+        assert summary.recovered == [job.job_id]
+
+    def test_store_recover_journals_the_requeue_durably(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        store.mark_running(job, attempt=1)
+        journal.close()
+
+        second = JobStore(_journal(tmp_path))
+        recovered = second.recover()
+        assert [j.job_id for j in recovered] == [job.job_id]
+        assert second.counters["jobs_recovered"] == 1
+        # a crash *right after* recovery must not double-count: the explicit
+        # queued line wins over the stale running line on the next replay
+        third = JobStore(_journal(tmp_path))
+        assert third.recover() == []
+        assert third.jobs[job.job_id].state is JobState.QUEUED
+
+    def test_ids_after_recovery_do_not_collide(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        journal.close()
+        second = JobStore(_journal(tmp_path))
+        second.recover()
+        (fresh,) = second.submit([SPEC], client="t")
+        assert fresh.job_id != job.job_id
+
+
+class TestDamage:
+    def test_torn_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        store.mark_running(job, attempt=1)
+        store.mark_done(job, {"cycles": 1}, source="computed")
+        journal.close()
+        path = tmp_path / "journal.jsonl"
+        # tear the final (done) line mid-write, the way a crash would
+        path.write_bytes(path.read_bytes()[:-15])
+
+        summary = _journal(tmp_path).replay()
+        assert summary.torn_lines == 1
+        replayed = summary.jobs[job.job_id]
+        # the done never durably happened → the job goes back to the queue
+        assert replayed.state is JobState.QUEUED
+        assert replayed.recovered == 1
+
+    def test_damage_does_not_cascade_to_earlier_records(self, tmp_path):
+        journal = _journal(tmp_path)
+        store = JobStore(journal)
+        store.recover()
+        first, second = store.submit([SPEC, SPEC], client="t")
+        store.mark_running(first, attempt=1)
+        store.mark_done(first, {"cycles": 7}, source="computed")
+        journal.close()
+        path = tmp_path / "journal.jsonl"
+        with open(path, "ab") as fh:
+            fh.write(b'{"op": "state", "job"')  # torn, no newline
+
+        summary = _journal(tmp_path).replay()
+        assert summary.torn_lines == 1
+        assert summary.jobs[first.job_id].state is JobState.DONE
+        assert summary.jobs[first.job_id].result == {"cycles": 7}
+        assert summary.jobs[second.job_id].state is JobState.QUEUED
+
+    def test_append_after_a_torn_tail_starts_a_fresh_line(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        journal.close()
+        path = tmp_path / "journal.jsonl"
+        with open(path, "ab") as fh:
+            fh.write(b'{"op": "state"')  # torn final line, no newline
+        # the next writer must not weld its record onto the damage
+        second = JobStore(_journal(tmp_path))
+        second.recover()
+        second.submit([SPEC], client="t")
+        summary = _journal(tmp_path).replay()
+        assert len(summary.order) == 2
+        assert summary.torn_lines == 1
+
+    def test_done_without_result_payload_is_requeued(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        journal.log_state(job.job_id, JobState.DONE)  # payload lost
+        journal.close()
+        summary = _journal(tmp_path).replay()
+        assert summary.jobs[job.job_id].state is JobState.QUEUED
+        assert summary.torn_lines == 1
+
+    def test_orphan_state_line_and_junk_are_counted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        lines = [
+            json.dumps({"op": "state", "job": "j-ghost", "state": "done"}),
+            "not json at all",
+            json.dumps(["not", "a", "dict"]),
+            json.dumps({"op": "wat", "job": "j-ghost"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        summary = JobJournal(path).replay()
+        assert summary.jobs == {}
+        assert summary.torn_lines == 4
+
+
+class TestTerminalForever:
+    def test_late_lines_cannot_resurrect_a_done_job(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        store.mark_running(job, attempt=1)
+        store.mark_done(job, {"cycles": 9}, source="computed")
+        # a buggy writer (or replayed duplicate) appends a stale transition
+        journal.log_state(job.job_id, JobState.RUNNING, attempt=2)
+        journal.log_state(job.job_id, JobState.FAILED, error={"kind": "x", "cause": "y"})
+        journal.close()
+
+        summary = _journal(tmp_path).replay()
+        replayed = summary.jobs[job.job_id]
+        assert replayed.state is JobState.DONE
+        assert replayed.result == {"cycles": 9}
+        assert replayed.error is None
+
+    def test_duplicate_submits_are_idempotent(self, tmp_path):
+        journal, store, job = _submit_one(tmp_path)
+        journal.log_submit(job)  # replayed duplicate
+        journal.close()
+        summary = _journal(tmp_path).replay()
+        assert summary.order == [job.job_id]

@@ -1,0 +1,164 @@
+"""Supervised execution: retries, circuit breaker, byte-identical recovery.
+
+Every scenario drives a real service (thread-hosted event loop, real
+worker processes) through the blocking client, with faults injected by
+the same :mod:`repro.faults` plans the campaign layer uses.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.systems.campaign import CampaignRunner, RunSpec
+from repro.systems.service import JobState, SupervisorConfig
+
+from .conftest import FAST, SPECS
+
+
+@pytest.fixture(scope="module")
+def clean_serial(tmp_path_factory):
+    """The fault-free reference results every recovery must byte-match."""
+    cache = tmp_path_factory.mktemp("clean-cache")
+    return CampaignRunner(jobs=1, cache_dir=cache).run(
+        [RunSpec.from_dict(s) for s in SPECS]
+    )
+
+
+def _expect(clean_serial, spec: dict) -> str:
+    result = clean_serial.result_for(RunSpec.from_dict(spec))
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _got(record: dict) -> str:
+    return json.dumps(record["result"], sort_keys=True)
+
+
+class TestHappyPath:
+    def test_batch_completes_and_matches_serial(self, harness, clean_serial):
+        client = harness.client()
+        accepted = client.submit(SPECS, client="t")
+        records = client.wait_jobs(accepted["jobs"], timeout=120)
+        for spec, job_id in zip(SPECS, accepted["jobs"]):
+            record = records[job_id]
+            assert record["state"] == "done"
+            assert record["source"] == "computed"
+            assert _got(record) == _expect(clean_serial, spec)
+
+    def test_resubmission_dedups_from_the_cache(self, harness, clean_serial):
+        client = harness.client()
+        first = client.submit(SPECS[:2], client="t")
+        client.wait_jobs(first["jobs"], timeout=120)
+        again = client.submit(SPECS[:2], client="t")
+        records = client.wait_jobs(again["jobs"], timeout=60)
+        for spec, job_id in zip(SPECS[:2], again["jobs"]):
+            assert records[job_id]["source"] == "cache"
+            assert _got(records[job_id]) == _expect(clean_serial, spec)
+
+
+class TestWorkerFaults:
+    def test_crash_is_retried_to_a_byte_identical_result(
+        self, harness_factory, clean_serial
+    ):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_crash", match="micro:count/*", times=1),
+        ])
+        harness = harness_factory(fault_plan=plan)
+        client = harness.client()
+        accepted = client.submit(SPECS, client="t")
+        records = client.wait_jobs(accepted["jobs"], timeout=120)
+        for spec, job_id in zip(SPECS, accepted["jobs"]):
+            assert records[job_id]["state"] == "done"
+            assert _got(records[job_id]) == _expect(clean_serial, spec)
+
+    def test_hang_is_killed_at_deadline_and_retried(
+        self, harness_factory, clean_serial
+    ):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_hang", match="micro:sentinel/*", times=1, seconds=300.0),
+        ])
+        config = SupervisorConfig(**{**FAST, "timeout": 3.0})
+        harness = harness_factory(fault_plan=plan, config=config)
+        client = harness.client()
+        accepted = client.submit([SPECS[1]], client="t")
+        records = client.wait_jobs(accepted["jobs"], timeout=120)
+        (record,) = records.values()
+        assert record["state"] == "done"
+        assert record["attempts"] == 2
+        assert _got(record) == _expect(clean_serial, SPECS[1])
+
+    def test_exhausted_retries_fail_with_the_worker_diagnosis(self, harness_factory):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_crash", match="micro:count/*", times=0),
+        ])
+        harness = harness_factory(fault_plan=plan)
+        client = harness.client()
+        accepted = client.submit([SPECS[0], SPECS[1]], client="t")
+        records = client.wait_jobs(accepted["jobs"], timeout=120)
+        failed = records[accepted["jobs"][0]]
+        assert failed["state"] == "failed"
+        assert failed["error"]["attempts"] == 2  # 1 + retries
+        # the child's traceback rode back through the isolation pipe
+        assert "InjectedFaultError" in failed["error"]["cause"]
+        assert "[traceback:" in failed["error"]["cause"]
+        # the healthy cell in the same batch is untouched
+        assert records[accepted["jobs"][1]]["state"] == "done"
+
+
+class TestCircuitBreaker:
+    def test_chronic_cell_is_quarantined_and_reported(self, harness_factory):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_exit", match="micro:count/*", times=0, exit_code=9),
+        ])
+        config = SupervisorConfig(
+            **{**FAST, "retries": 5, "quarantine_threshold": 2},
+        )
+        harness = harness_factory(fault_plan=plan, config=config)
+        client = harness.client()
+        accepted = client.submit([SPECS[0]], client="t")
+        records = client.wait_jobs(accepted["jobs"], timeout=120)
+        (record,) = records.values()
+        # the breaker tripped before the 6 configured attempts burned out
+        assert record["state"] == "given_up"
+        assert "quarantined" in record["error"]["cause"]
+        health = client.healthz()
+        assert health["quarantined"] == {"micro:count/neon_dsa": 2}
+        assert health["degradation"]["quarantined_cells"] == 1
+
+        # jobs for the quarantined cell are refused instantly, without
+        # spawning a worker; other cells keep computing
+        followup = client.submit([SPECS[0], SPECS[1]], client="t")
+        records = client.wait_jobs(followup["jobs"], timeout=120)
+        assert records[followup["jobs"][0]]["state"] == "given_up"
+        assert records[followup["jobs"][0]]["attempts"] == 0
+        assert records[followup["jobs"][1]]["state"] == "done"
+
+    def test_a_success_resets_the_death_streak(self, harness_factory):
+        plan = FaultPlan(faults=[
+            FaultSpec(kind="worker_crash", match="micro:count/*", times=1),
+        ])
+        config = SupervisorConfig(**{**FAST, "quarantine_threshold": 2})
+        harness = harness_factory(fault_plan=plan, config=config)
+        client = harness.client()
+        accepted = client.submit([SPECS[0]], client="t")
+        records = client.wait_jobs(accepted["jobs"], timeout=120)
+        (record,) = records.values()
+        assert record["state"] == "done"
+        assert harness.client().healthz()["quarantined"] == {}
+
+
+class TestJournalConsistency:
+    def test_every_transition_is_journaled_exactly_once(self, harness):
+        client = harness.client()
+        accepted = client.submit(SPECS, client="t")
+        client.wait_jobs(accepted["jobs"], timeout=120)
+        states: dict[str, list[str]] = {}
+        with open(harness.journal_path, encoding="utf-8") as fh:
+            for line in fh:
+                record = json.loads(line)
+                if record["op"] == "state":
+                    states.setdefault(record["job"], []).append(record["state"])
+        terminal = {JobState.DONE.value, JobState.FAILED.value, JobState.GIVEN_UP.value}
+        for job_id in accepted["jobs"]:
+            finals = [s for s in states[job_id] if s in terminal]
+            assert finals == ["done"], (job_id, states[job_id])

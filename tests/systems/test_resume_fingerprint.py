@@ -1,0 +1,85 @@
+"""Campaign resume across a simulator code change.
+
+``--resume`` reuses disk-cached results — but every cache key embeds
+``code_fingerprint()``, so results computed by an *older* simulator must
+never satisfy a resumed campaign after the code changed: the stale
+entries miss cleanly and the specs recompute.
+"""
+
+import json
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.systems.campaign import CampaignRunner, RunSpec
+
+SPECS = [
+    RunSpec("micro:count", "neon_dsa", "full", "test"),
+    RunSpec("micro:sentinel", "arm_original", "full", "test"),
+]
+
+
+def _encode(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def test_resume_with_unchanged_code_reuses_the_cache(tmp_path):
+    cache = tmp_path / "cache"
+    first = CampaignRunner(jobs=1, cache_dir=cache, resume=True).run(SPECS)
+    assert all(m.source == "computed" for m in first.metrics)
+    second = CampaignRunner(jobs=1, cache_dir=cache, resume=True).run(SPECS)
+    assert all(m.source == "disk-cache" for m in second.metrics)
+
+
+def test_resume_across_a_code_change_recomputes_stale_entries(tmp_path, monkeypatch):
+    cache = tmp_path / "cache"
+    first = CampaignRunner(jobs=1, cache_dir=cache, resume=True).run(SPECS)
+
+    # "edit the simulator": every key the first campaign stored under is
+    # now unreachable (cache_key reads the fingerprint by name from the
+    # campaign module, so patching there covers every key computation)
+    monkeypatch.setattr(
+        "repro.systems.campaign.code_fingerprint", lambda: "f" * 16,
+    )
+    resumed = CampaignRunner(jobs=1, cache_dir=cache, resume=True).run(SPECS)
+    assert all(m.source == "computed" for m in resumed.metrics), [
+        (m.spec["workload"], m.source) for m in resumed.metrics
+    ]
+    # nothing about the run itself changed, so the recomputed results are
+    # byte-identical — only their cache identity moved
+    for spec in SPECS:
+        assert _encode(resumed.result_for(spec)) == _encode(first.result_for(spec))
+    # and the old entries were left alone, not misattributed or deleted
+    assert (
+        CampaignRunner(jobs=1, cache_dir=cache, resume=True)
+        .run(SPECS)
+        .metrics[0]
+        .source
+        == "disk-cache"
+    )
+
+
+def test_resume_under_a_fault_plan_prefers_cache_until_code_changes(
+    tmp_path, monkeypatch
+):
+    """--resume means 'trust completed work': plan-targeted specs are
+    served from cache instead of re-faulted — unless the code changed,
+    in which case they recompute (and the still-active plan fires)."""
+    cache = tmp_path / "cache"
+    CampaignRunner(jobs=1, cache_dir=cache).run(SPECS)
+    plan = FaultPlan(faults=[
+        FaultSpec(kind="worker_crash", match="micro:count/*", times=1),
+    ])
+    resumed = CampaignRunner(
+        jobs=1, cache_dir=cache, fault_plan=plan, resume=True,
+        retries=1, backoff=0.05,
+    ).run(SPECS)
+    assert all(m.source == "disk-cache" for m in resumed.metrics)
+
+    monkeypatch.setattr(
+        "repro.systems.campaign.code_fingerprint", lambda: "e" * 16,
+    )
+    recomputed = CampaignRunner(
+        jobs=1, cache_dir=cache, fault_plan=plan, resume=True,
+        retries=1, backoff=0.05,
+    ).run(SPECS)
+    assert recomputed.ok, [f.to_dict() for f in recomputed.failures]
+    assert all(m.source == "computed" for m in recomputed.metrics)
