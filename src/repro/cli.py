@@ -37,12 +37,16 @@ from .systems.metrics import RunMetrics
 from .systems.report import ComparisonReport, DSACoverageReport
 from .systems.result_cache import ResultDiskCache
 from .systems.setups import DSA_STAGES, SYSTEM_NAMES, lower_for
+from .vector import BACKEND_NAMES, VALID_VECTOR_LENGTHS
 from .workloads import PAPER_WORKLOADS, load
 
 
 def _progress(done: int, total: int, metrics: RunMetrics) -> None:
     spec = metrics.spec
     stage = f"[{spec['dsa_stage']}]" if spec["system"] == "neon_dsa" else ""
+    backend = spec.get("backend", "neon")
+    if backend != "neon":
+        stage += f"@{backend}{spec.get('vl', 128)}"
     print(
         f"[{done:>3}/{total}] {spec['workload']}/{spec['system']}{stage} "
         f"{metrics.source} ({metrics.wall_time_s:.2f}s)",
@@ -77,6 +81,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         systems=args.systems,
         dsa_stages=tuple(args.dsa_stages),
         seed=args.seed,
+        backend=args.backend,
+        vl=args.vl,
     )
     runner = _runner_from(args, progress=None if args.json else _progress)
     result = runner.run(specs)
@@ -280,19 +286,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .systems.campaign import MICRO_PREFIX
 
     runner = _runner_from(args, progress=None if args.json else _progress)
-    specs = [
-        RunSpec(f"{MICRO_PREFIX}{kind}", "neon_dsa", args.dsa_stage, args.scale)
-        for kind in PAPER_LOOP_CLASSES
-    ]
-    outcome = runner.run(specs)
+    # the NEON backend is fixed at VL=128; --vl only widens the scalable one
+    specs_by_backend = {
+        backend: [
+            RunSpec(
+                f"{MICRO_PREFIX}{kind}", "neon_dsa", args.dsa_stage, args.scale,
+                backend=backend, vl=128 if backend == "neon" else args.vl,
+            )
+            for kind in PAPER_LOOP_CLASSES
+        ]
+        for backend in dict.fromkeys(args.backends)
+    }
+    outcome = runner.run([s for specs in specs_by_backend.values() for s in specs])
     if outcome.failures:
         for f in outcome.failures:
             print(f"failed: {f.label}: {f.kind}: {f.cause}", file=sys.stderr)
         return 3
-    results = {
-        spec.workload[len(MICRO_PREFIX):]: outcome.result_for(spec) for spec in specs
-    }
-    report = LoopCoverageReport.from_results(results)
+    report = LoopCoverageReport.merged([
+        LoopCoverageReport.from_results({
+            spec.workload[len(MICRO_PREFIX):]: outcome.result_for(spec)
+            for spec in specs
+        })
+        for specs in specs_by_backend.values()
+    ])
     degradation = {k: v for k, v in outcome.degradation.items() if v}
     if args.json:
         record = report.to_dict()
@@ -415,6 +431,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     systems=args.systems,
                     dsa_stages=tuple(args.dsa_stages),
                     seed=args.seed,
+                    backend=args.backend,
+                    vl=args.vl,
                 )
             ]
             accepted = client.submit(specs, client=args.client)
@@ -523,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dsa-stages", nargs="*", default=["full"], choices=tuple(DSA_STAGES),
                    help="DSA feature stages to run for neon_dsa (default: full)")
     p.add_argument("--seed", type=int, default=None, help="input RNG seed override")
+    p.add_argument("--backend", default="neon", choices=BACKEND_NAMES,
+                   help="vector backend for every run (default: neon)")
+    p.add_argument("--vl", type=int, default=128, choices=VALID_VECTOR_LENGTHS,
+                   help="vector length in bits for the scalable backend; a VL wider "
+                        "than 128 restricts the matrix to arm_original + neon_dsa "
+                        "(default: 128)")
     p.add_argument("--json", action="store_true", help="emit the metrics/results JSON record")
     p.add_argument("--clear-cache", action="store_true", help="drop cached results first")
     p.add_argument("--guard", action="store_true",
@@ -621,6 +645,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scale", default="test", choices=("test", "bench", "full"))
     p.add_argument("--dsa-stage", default="full", choices=tuple(DSA_STAGES))
+    p.add_argument("--backends", nargs="*", default=["neon"], choices=BACKEND_NAMES,
+                   help="vector backends to cover, one table block each (default: neon)")
+    p.add_argument("--vl", type=int, default=128, choices=VALID_VECTOR_LENGTHS,
+                   help="vector length in bits for the scalable backend (default: 128)")
     p.add_argument("--json", action="store_true", help="emit the coverage record as JSON")
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_stats)
@@ -682,6 +710,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="systems to run (default: all four)")
     p.add_argument("--dsa-stages", nargs="*", default=["full"], choices=tuple(DSA_STAGES))
     p.add_argument("--seed", type=int, default=None, help="input RNG seed override")
+    p.add_argument("--backend", default="neon", choices=BACKEND_NAMES,
+                   help="vector backend for every submitted run (default: neon)")
+    p.add_argument("--vl", type=int, default=128, choices=VALID_VECTOR_LENGTHS,
+                   help="vector length in bits for the scalable backend (default: 128)")
     p.add_argument("--client", default="cli", help="client id for admission accounting")
     p.add_argument("--no-wait", action="store_true",
                    help="print job ids and exit without polling for completion")

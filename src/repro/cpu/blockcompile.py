@@ -429,7 +429,7 @@ def _gen_fast(dec: DecodedProgram, head: int, br: int, config):
     ]
     if has_vector:
         lines.append("    q_ready = timing._q_ready")
-        lines.append("    neon_exec = core.neon.execute")
+        lines.append("    neon_exec = core.vector.execute")
     lines += [
         "    (now, slot_cycle, slots_used, flags_ready, last_completion,",
         "     neon_next_issue, neon_burst_open) = timing.block_entry_state()",

@@ -85,6 +85,13 @@ class CPUConfig:
     #: lower eligible straight-line lane math (affine load/ALU/store
     #: bodies) to a numpy kernel inside the compiled block
     compile_numpy: bool = True
+    #: which vector engine the core instantiates — a name accepted by
+    #: repro.vector.get_backend ("neon" = the paper's fixed 128-bit unit,
+    #: "scalable" = the VLA engine)
+    vector_backend: str = "neon"
+    #: vector length in bits; the neon backend is fixed at 128, the
+    #: scalable backend accepts 128/256/512/1024
+    vector_length: int = 128
     scalar: ScalarLatencies = field(default_factory=ScalarLatencies)
     vector: VectorLatencies = field(default_factory=VectorLatencies)
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
@@ -96,6 +103,26 @@ class CPUConfig:
             raise ConfigError("clock must be positive")
         if self.hot_threshold < 1:
             raise ConfigError("hot threshold must be at least 1")
+        # Validate eagerly so a bad backend/VL pair fails at config time,
+        # not at first dispatch deep inside a worker process.  The import
+        # is deferred: repro.vector sits above this module.
+        from ..vector import BACKEND_NAMES, VALID_VECTOR_LENGTHS
+
+        if self.vector_backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown vector backend {self.vector_backend!r} "
+                f"(choose from {BACKEND_NAMES})"
+            )
+        if self.vector_length not in VALID_VECTOR_LENGTHS:
+            raise ConfigError(
+                f"vector length must be one of {VALID_VECTOR_LENGTHS}, "
+                f"got {self.vector_length}"
+            )
+        if self.vector_backend == "neon" and self.vector_length != 128:
+            raise ConfigError(
+                "the neon backend is fixed at VL=128; "
+                "use vector_backend='scalable' for wider vectors"
+            )
 
     def seconds(self, cycles: float) -> float:
         return cycles / self.clock_hz

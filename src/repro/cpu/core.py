@@ -89,14 +89,18 @@ class Core:
         memory: MainMemory,
         config: CPUConfig | None = None,
     ):
-        from ..neon.engine import NeonEngine  # local import to avoid a cycle
+        from ..vector import get_backend  # local import to avoid a cycle
 
         self.program = program
         self.memory = memory
         self.config = config or DEFAULT_CPU_CONFIG
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
-        self.timing = TimingModel(self.config)
-        self.neon = NeonEngine()
+        #: the vector execution engine, chosen by CPUConfig.vector_backend —
+        #: NEON by default, the scalable (VLA) engine when configured
+        self.vector = get_backend(
+            self.config.vector_backend, self.config.vector_length
+        )
+        self.timing = TimingModel(self.config, num_vector_regs=self.vector.num_regs)
         self.regs: list[int] = [0] * 16
         self.flags = Flags()
         self.pc = program.base
@@ -114,6 +118,15 @@ class Core:
         #: (iterations, op-index) a faulting compiled block leaves behind so
         #: the dispatch loop can reconstruct the exact architected state
         self._block_fault: tuple[int, int] | None = None
+
+    @property
+    def neon(self):
+        """Deprecated alias for :attr:`vector` (pre-backend-redesign name).
+
+        Kept so external scripts keep working; new code should use
+        ``core.vector``, which may be any :class:`repro.vector.VectorBackend`.
+        """
+        return self.vector
 
     # ------------------------------------------------------------------
     # register convenience (harness-facing)
@@ -141,7 +154,7 @@ class Core:
         sets_flags = False
 
         if isinstance(instr, VInstr):
-            events = self.neon.execute(instr, self.regs, self.memory)
+            events = self.vector.execute(instr, self.regs, self.memory)
             accesses = [MemAccess(e.addr, e.nbytes, e.is_write) for e in events]
         elif isinstance(instr, Alu):
             a = self.regs[instr.rn.index]
@@ -264,6 +277,13 @@ class Core:
     # ------------------------------------------------------------------
     def run(self, max_instructions: int = 100_000_000) -> CoreResult:
         """Run until HALT (or the safety limit) and return the summary."""
+        if self.seq == 0:
+            # A run starting from scratch must not inherit vector-op counters
+            # from earlier use of the engine on this core (e.g. a previous
+            # completed run, or bursts executed while attaching) — the energy
+            # model reads them per run.  Continuations (seq > 0 after a
+            # max_instructions cut) keep accumulating, as they must.
+            self.vector.stats.reset()
         observer = self.observer
         if observer is None:
             return self._run(max_instructions)

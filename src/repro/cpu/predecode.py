@@ -386,7 +386,7 @@ def _build_vinstr(instr: VInstr, pc: int):
     seq_pc = pc + INSTRUCTION_BYTES
 
     def execute(core):
-        events = core.neon.execute(instr, core.regs, core.memory)
+        events = core.vector.execute(instr, core.regs, core.memory)
         if not events:
             return no_events
         return (

@@ -67,9 +67,9 @@ class TimingStats:
 
 
 class TimingModel:
-    """Accumulates cycles for a single core + NEON engine."""
+    """Accumulates cycles for a single core + vector engine."""
 
-    def __init__(self, config: CPUConfig):
+    def __init__(self, config: CPUConfig, num_vector_regs: int = 16):
         self.config = config
         self.stats = TimingStats()
         # The whole scoreboard counts in integer cycles: accumulating floats
@@ -78,7 +78,8 @@ class TimingModel:
         # exactly once, where they enter (see ``add_stall``).
         self._reg_ready = [0] * 16
         self._flags_ready = 0
-        self._q_ready = [0] * 16
+        # vector register scoreboard, sized to the backend's register file
+        self._q_ready = [0] * num_vector_regs
         self._now = 0          # next scalar issue opportunity
         self._slot_cycle = -1  # cycle of the current issue group
         self._slots_used = 0

@@ -240,10 +240,21 @@ class DynamicSIMDAssembler:
         self.core = core
         core.retire_hooks.append(self.on_record)
         core.timing_suppressor = self._suppressor
-        self._neon = core.neon
+        self._vector = core.vector
 
     def _suppressor(self, record: TraceRecord) -> bool:
         return record.pc in self._suppress_set
+
+    def _build_template(self, window, streams) -> LoopTemplate:
+        """Lower a window against the attached core's vector backend, so
+        lane/chunk math follows its width instead of NEON constants."""
+        backend = self.core.vector
+        return build_template(
+            window,
+            streams,
+            width_bytes=backend.width_bytes,
+            num_regs=backend.num_regs,
+        )
 
     # ------------------------------------------------------------------
     # observability (every site guards on ``observer is None``: zero
@@ -757,7 +768,7 @@ class DynamicSIMDAssembler:
             return
 
         try:
-            template = build_template(window, ctx.streams)
+            template = self._build_template(window, ctx.streams)
         except TemplateReject as exc:
             self._cache_verdict(ctx, LoopKind.NON_VECTORIZABLE, False, str(exc), info=info)
             ctx.state = _State.SCALAR
@@ -838,7 +849,7 @@ class DynamicSIMDAssembler:
             ctx.state = _State.SCALAR
             return
         try:
-            template = build_template(window, ctx.streams)
+            template = self._build_template(window, ctx.streams)
         except TemplateReject as exc:
             self._cache_verdict(ctx, LoopKind.SENTINEL, False, str(exc))
             ctx.state = _State.SCALAR
@@ -932,7 +943,7 @@ class DynamicSIMDAssembler:
         for sig in sigs:
             window = ctx.path_windows[sig][-1][1]
             try:
-                template = build_template(window, ctx.streams)
+                template = self._build_template(window, ctx.streams)
             except TemplateReject as exc:
                 if str(exc).startswith("no store"):
                     # a condition arm that stores nothing (e.g. the
@@ -1315,7 +1326,7 @@ class DynamicSIMDAssembler:
             for instr, addr in burst:
                 mem_latency = 0
                 if addr is not None:
-                    mem_latency = hierarchy.access(addr, 16, instr.is_store)
+                    mem_latency = hierarchy.access(addr, template.width_bytes, instr.is_store)
                     self.stats.vector_mem_ops += 1
                 else:
                     self.stats.vector_arith_ops += 1

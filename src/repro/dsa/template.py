@@ -106,6 +106,12 @@ class LoopTemplate:
     load_pcs: list[int]                    # streams consumed as vectors
     invariant_regs: list[int]              # scalar registers broadcast once
     streams: dict[int, MemStream] = field(default_factory=dict)
+    #: geometry of the vector backend the template lowers to — one
+    #: register's width and the register-file size; set from
+    #: ``backend.width_bytes`` / ``backend.num_regs`` at build time
+    #: (defaults are NEON's)
+    width_bytes: int = 16
+    num_regs: int = 16
 
     # ------------------------------------------------------------------
     @property
@@ -114,7 +120,8 @@ class LoopTemplate:
 
     @property
     def lanes(self) -> int:
-        return self.dtype.lanes
+        """Iterations one vector register covers at the backend's width."""
+        return self.width_bytes // self.dtype.size
 
     @property
     def result_registers(self) -> int:
@@ -138,8 +145,10 @@ class LoopTemplate:
 
         def alloc(key: object) -> int:
             if key not in qmap:
-                if next_q[0] >= 16:
-                    raise TemplateReject("too many operations for the NEON register file")
+                if next_q[0] >= self.num_regs:
+                    raise TemplateReject(
+                        "too many operations for the vector register file"
+                    )
                 qmap[key] = next_q[0]
                 next_q[0] += 1
             return qmap[key]
@@ -156,7 +165,7 @@ class LoopTemplate:
             for pc in self.load_pcs:
                 stream = self.streams[pc]
                 q = alloc(("load", pc))
-                addr = start_addrs[pc] + k * 16
+                addr = start_addrs[pc] + k * self.width_bytes
                 out.append((VLoad(qd=QReg(q), base=base, dtype=stream.dtype), addr))
             for node_id, node in enumerate(self.nodes):
                 if node.kind != "op":
@@ -167,7 +176,7 @@ class LoopTemplate:
             for root in self.stores:
                 stream = self.streams[root.stream_pc]
                 q = alloc(self._qkey(root.node))
-                addr = start_addrs[root.stream_pc] + k * 16
+                addr = start_addrs[root.stream_pc] + k * self.width_bytes
                 out.append((VStore(qs=QReg(q), base=base, dtype=stream.dtype), addr))
         return out
 
@@ -308,8 +317,15 @@ class LoopTemplate:
 def build_template(
     window: list[TraceRecord],
     streams: dict[int, MemStream],
+    width_bytes: int = 16,
+    num_regs: int = 16,
 ) -> LoopTemplate:
     """Reconstruct the loop body dataflow from one iteration's records.
+
+    ``width_bytes``/``num_regs`` describe the vector backend the template
+    will lower to (``backend.width_bytes`` / ``backend.num_regs``); the
+    lane count per burst register and the register-file budget derive
+    from them, so the same window vectorizes at any vector length.
 
     Raises :class:`TemplateReject` when the body cannot be vectorized:
     carry-around scalars feeding stores, irregular strides, unsupported
@@ -491,6 +507,8 @@ def build_template(
         load_pcs=live_loads,
         invariant_regs=invariant_regs,
         streams=relevant,
+        width_bytes=width_bytes,
+        num_regs=num_regs,
     )
 
 

@@ -80,6 +80,11 @@ class EnergyModel:
             "Nop": p.alu_pj * 0.25,
             "Halt": 0.0,
         }
+        # The per-op vector energies in EnergyParams are calibrated for one
+        # 128-bit (16-byte) operation; a wider backend moves proportionally
+        # more lanes per op, so its dynamic per-op cost scales with width.
+        # NEON's factor is exactly 1.0, keeping its reports bit-identical.
+        width_factor = core.vector.width_bytes / 16
         core_pj = 0.0
         neon_pj = 0.0
         for cls, count in counts.items():
@@ -89,7 +94,7 @@ class EnergyModel:
                 # vector instruction executed architecturally (autovec /
                 # hand-vectorized binaries)
                 instr_pj = p.neon_mem_pj if cls in ("VLoad", "VStore", "VLoadLane", "VStoreLane") else p.neon_arith_pj
-                neon_pj += count * (instr_pj + p.fetch_decode_pj)
+                neon_pj += count * (instr_pj * width_factor + p.fetch_decode_pj)
 
         # suppressed scalar instructions were architecturally replaced by
         # the DSA's NEON burst: their core energy is not spent
@@ -98,10 +103,10 @@ class EnergyModel:
             avg_core_pj = core_pj / max(1, result.instructions - _vector_count(counts))
             core_pj -= suppressed * avg_core_pj
 
-        # -- DSA-generated NEON bursts -----------------------------------
+        # -- DSA-generated vector bursts ---------------------------------
         if dsa is not None:
-            neon_pj += dsa.stats.vector_mem_ops * p.neon_mem_pj
-            neon_pj += dsa.stats.vector_arith_ops * p.neon_arith_pj
+            neon_pj += dsa.stats.vector_mem_ops * (p.neon_mem_pj * width_factor)
+            neon_pj += dsa.stats.vector_arith_ops * (p.neon_arith_pj * width_factor)
 
         # -- memory hierarchy --------------------------------------------
         h = result.hierarchy_stats

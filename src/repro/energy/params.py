@@ -35,7 +35,10 @@ class EnergyParams:
     l2_access_pj: float = 80.0
     dram_access_pj: float = 2000.0
 
-    # -- NEON engine, per 128-bit operation ------------------------------
+    # -- vector engine, per 128-bit operation ----------------------------
+    # (the energy model scales these by backend.width_bytes/16, so a
+    # scalable backend at VL=256/512/1024 pays 2/4/8x per op while
+    # issuing proportionally fewer ops; NEON's factor is exactly 1.0)
     neon_arith_pj: float = 30.0
     neon_mem_pj: float = 35.0
     neon_lane_pj: float = 10.0

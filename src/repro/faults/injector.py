@@ -114,7 +114,7 @@ class FaultInjector:
     # architectural NEON lane corruption (static SIMD systems)
     # ------------------------------------------------------------------
     def attach_neon(self, core) -> None:
-        core.neon.fault_hook = self.on_neon_op
+        core.vector.fault_hook = self.on_neon_op
 
     def on_neon_op(self, instr, q) -> None:
         """Corrupt a Q-register byte at the ``shift``-th register write."""

@@ -13,6 +13,12 @@ i32 / u32    32    4
 i64 / u64    64    2
 f32          32    4
 =========  =====  =============
+
+The 128-bit width is a property of the NEON *backend*, not the ISA:
+the scalable backend widens its registers to VL/8 bytes and derives
+its lane counts from :meth:`repro.vector.VectorBackend.lanes_for`.
+``DType.lanes`` and the module constants below keep describing the
+fixed 128-bit NEON geometry for the static binaries.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from enum import Enum
 import numpy as np
 
 NEON_WIDTH_BITS = 128
+#: .. deprecated:: use ``backend.width_bytes`` (``repro.vector``) in code that
+#:    must work on any vector backend; this constant is only correct for NEON.
 NEON_WIDTH_BYTES = NEON_WIDTH_BITS // 8
 
 

@@ -425,5 +425,6 @@ class VMovFromCore(VInstr):
 #: instructions that touch memory, for quick isinstance checks
 V_MEMORY_OPS = (VLoad, VStore, VLoadLane, VStoreLane)
 
-#: bytes moved by a full-width vector memory access
+#: bytes moved by a full-width vector memory access *on the NEON backend*;
+#: width-portable code should ask ``backend.width_bytes`` instead
 V_ACCESS_BYTES = NEON_WIDTH_BYTES

@@ -1,8 +1,11 @@
-"""Functional lane math for 128-bit NEON registers.
+"""Functional lane math for vector register images of any width.
 
-A register image is 16 bytes (numpy ``uint8`` array); operations reinterpret
+A register image is a numpy ``uint8`` array — 16 bytes for NEON Q
+registers, wider for scalable-vector registers; operations reinterpret
 it as lanes of the requested :class:`DType`, with silent wraparound on
-integer overflow — exactly what the hardware does.
+integer overflow — exactly what the hardware does.  Every operation here
+is width-agnostic: the lane count falls out of ``image.nbytes``, so the
+same kernels serve both the NEON and the scalable backend.
 """
 
 from __future__ import annotations
@@ -13,32 +16,40 @@ from ..isa.dtypes import DType, NEON_WIDTH_BYTES
 from ..isa.neon import VBinKind, VCmpKind, VUnaryKind
 
 
-def zero_register() -> np.ndarray:
-    return np.zeros(NEON_WIDTH_BYTES, dtype=np.uint8)
+def zero_register(width_bytes: int = NEON_WIDTH_BYTES) -> np.ndarray:
+    return np.zeros(width_bytes, dtype=np.uint8)
 
 
 def view(image: np.ndarray, dtype: DType) -> np.ndarray:
-    """Reinterpret a 16-byte image as lanes of ``dtype`` (shares storage)."""
-    if image.nbytes != NEON_WIDTH_BYTES:
-        raise ValueError(f"register image must be {NEON_WIDTH_BYTES} bytes")
+    """Reinterpret a register image as lanes of ``dtype`` (shares storage)."""
+    if image.nbytes == 0 or image.nbytes % dtype.size != 0:
+        raise ValueError(
+            f"register image of {image.nbytes} bytes cannot hold {dtype} lanes"
+        )
     return image.view(dtype.numpy)
 
 
-def from_lanes(values, dtype: DType) -> np.ndarray:
-    """Build a register image from per-lane values (wrapped to the type)."""
+def from_lanes(values, dtype: DType, lanes: int | None = None) -> np.ndarray:
+    """Build a register image from per-lane values (wrapped to the type).
+
+    ``lanes`` defaults to the 128-bit NEON lane count; scalable-vector
+    callers pass ``backend.lanes_for(dtype)``.
+    """
+    expected = dtype.lanes if lanes is None else lanes
     arr = np.asarray(values)
-    if arr.size != dtype.lanes:
-        raise ValueError(f"{dtype} needs {dtype.lanes} lanes, got {arr.size}")
+    if arr.size != expected:
+        raise ValueError(f"{dtype} needs {expected} lanes, got {arr.size}")
     return arr.astype(dtype.numpy).view(np.uint8).copy()
 
 
-def broadcast(value: int | float, dtype: DType) -> np.ndarray:
+def broadcast(value: int | float, dtype: DType, lanes: int | None = None) -> np.ndarray:
     """Register image with ``value`` in every lane (vdup semantics)."""
-    return from_lanes([dtype.wrap(value)] * dtype.lanes, dtype)
+    n = dtype.lanes if lanes is None else lanes
+    return from_lanes([dtype.wrap(value)] * n, dtype, lanes=n)
 
 
 def binop(kind: VBinKind, a: np.ndarray, b: np.ndarray, dtype: DType) -> np.ndarray:
-    """Lane-wise binary operation; returns a fresh 16-byte image."""
+    """Lane-wise binary operation; returns a fresh image of the same width."""
     va, vb = view(a, dtype), view(b, dtype)
     with np.errstate(over="ignore", invalid="ignore"):
         if kind is VBinKind.VADD:

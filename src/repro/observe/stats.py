@@ -32,6 +32,7 @@ class LoopClassCoverage:
 
     loop_class: str
     workload: str
+    backend: str = "neon"           # vector backend the run executed on
     detected: int = 0               # loops the DSA named from backward branches
     vectorized: int = 0             # invocations whose timing went to NEON
     fallbacks: int = 0              # guarded rollbacks to scalar
@@ -52,6 +53,7 @@ class LoopClassCoverage:
         return {
             "loop_class": self.loop_class,
             "workload": self.workload,
+            "backend": self.backend,
             "detected": self.detected,
             "vectorized": self.vectorized,
             "fallbacks": self.fallbacks,
@@ -90,6 +92,7 @@ class LoopCoverageReport:
                 LoopClassCoverage(
                     loop_class=loop_class,
                     workload=getattr(result, "workload", f"micro:{loop_class}"),
+                    backend=getattr(result, "backend", "neon"),
                     detected=stats.loops_detected,
                     vectorized=sum(stats.vectorized_invocations.values()),
                     fallbacks=stats.fallbacks,
@@ -108,6 +111,7 @@ class LoopCoverageReport:
                 LoopClassCoverage(
                     loop_class=loop_class,
                     workload=getattr(result, "workload", loop_class),
+                    backend=getattr(result, "backend", "neon"),
                     detected=stats.loops_detected,
                     vectorized=sum(stats.vectorized_invocations.values()),
                     fallbacks=stats.fallbacks,
@@ -118,17 +122,23 @@ class LoopCoverageReport:
             )
         return cls(rows=rows)
 
+    @classmethod
+    def merged(cls, reports: list["LoopCoverageReport"]) -> "LoopCoverageReport":
+        """Concatenate per-backend reports into one table (``--backends``)."""
+        return cls(rows=[row for report in reports for row in report.rows])
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         return {"loop_coverage": [row.to_dict() for row in self.rows]}
 
     def table(self) -> str:
-        header = ["loop_class", "workload", "detected", "vectorized",
+        header = ["loop_class", "workload", "backend", "detected", "vectorized",
                   "fallbacks", "aborted", "iters", "outcome"]
         cells = [
             [
                 row.loop_class,
                 row.workload,
+                row.backend,
                 str(row.detected),
                 str(row.vectorized),
                 str(row.fallbacks),

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace as dc_replace
 from typing import Callable, Sequence
 
 from ..cpu.config import DEFAULT_CPU_CONFIG, CPUConfig
@@ -59,6 +59,10 @@ class RunSpec:
     dsa_stage: str = "full"
     scale: str = "test"
     seed: int | None = None
+    #: vector backend + vector length (bits) the core runs with; the
+    #: default (neon, 128) is the paper's configuration
+    backend: str = "neon"
+    vl: int = 128
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEM_NAMES:
@@ -74,14 +78,40 @@ class RunSpec:
             # original) are one run, one cache entry
             object.__setattr__(self, "dsa_stage", "-")
         check_scale(self.scale)
+        from ..vector import BACKEND_NAMES, VALID_VECTOR_LENGTHS
+
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"unknown vector backend {self.backend!r}; pick one of {BACKEND_NAMES}"
+            )
+        if self.vl not in VALID_VECTOR_LENGTHS:
+            raise ConfigError(
+                f"vector length must be one of {VALID_VECTOR_LENGTHS}, got {self.vl}"
+            )
+        if self.backend == "neon" and self.vl != 128:
+            raise ConfigError(
+                "the neon backend is fixed at VL=128; use backend='scalable' "
+                "for wider vectors"
+            )
+        if self.vl != 128 and self.system in ("neon_autovec", "neon_handvec"):
+            raise ConfigError(
+                f"system {self.system!r} executes a static 128-bit NEON binary "
+                f"and cannot run at VL={self.vl}"
+            )
 
     @property
     def label(self) -> str:
         stage = f"[{self.dsa_stage}]" if self.system == "neon_dsa" else ""
-        return f"{self.workload}/{self.system}{stage}"
+        tail = "" if self.backend == "neon" else f"@{self.backend}{self.vl}"
+        return f"{self.workload}/{self.system}{stage}{tail}"
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        d = asdict(self)
+        # the default (neon, 128) is omitted so pre-backend spec records,
+        # journals and cache payloads stay byte-identical
+        if self.backend == "neon" and self.vl == 128:
+            del d["backend"], d["vl"]
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunSpec":
@@ -136,8 +166,13 @@ def execute_spec(
         injector=injector,
         max_seconds=max_seconds,
         observer=observer,
+        backend=spec.backend,
+        vl=spec.vl,
     )
-    return summarize_run(result, scale=spec.scale, seed=spec.seed, dsa_stage=spec.dsa_stage)
+    return summarize_run(
+        result, scale=spec.scale, seed=spec.seed, dsa_stage=spec.dsa_stage,
+        backend=spec.backend, vl=spec.vl,
+    )
 
 
 def _worker_run(task: tuple, attempt: int) -> tuple[str, float, str | None]:
@@ -341,6 +376,15 @@ class CampaignRunner:
         workload = build_workload(spec)
         lowered = lower_for(spec.system, workload)
         dsa_config = DSA_STAGES[spec.dsa_stage] if spec.system == "neon_dsa" else None
+        # the spec's backend/vl override the runner-level cpu_config at
+        # execution time (see execute_spec), so the key must hash the
+        # *effective* config — plus the pair explicitly, so NEON results
+        # can never be shadowed or evicted by a scalable sweep
+        cpu_config = dc_replace(
+            self.cpu_config or DEFAULT_CPU_CONFIG,
+            vector_backend=spec.backend,
+            vector_length=spec.vl,
+        )
         parts = {
             "code": code_fingerprint(),
             "kernel_asm": lowered.asm,
@@ -349,7 +393,9 @@ class CampaignRunner:
             "seed": workload.seed,
             "system": spec.system,
             "dsa_stage": spec.dsa_stage,
-            "cpu_config": asdict(self.cpu_config or DEFAULT_CPU_CONFIG),
+            "backend": spec.backend,
+            "vl": spec.vl,
+            "cpu_config": asdict(cpu_config),
             "dsa_config": asdict(dsa_config) if dsa_config else None,
             "energy_params": asdict(DEFAULT_ENERGY_PARAMS),
         }
@@ -614,15 +660,26 @@ def default_matrix(
     systems: Sequence[str] | None = None,
     dsa_stages: Sequence[str] = ("full",),
     seed: int | None = None,
+    backend: str = "neon",
+    vl: int = 128,
 ) -> list[RunSpec]:
     """The campaign matrix: every workload on every system, the DSA once
-    per requested feature stage."""
+    per requested feature stage.
+
+    A non-128 ``vl`` restricts the system list to the ones that can run
+    wider vectors (``arm_original`` scalar baseline + ``neon_dsa``, whose
+    bursts are timing-only) unless ``systems`` was given explicitly.
+    """
+    if systems is None and vl != 128:
+        systems = tuple(s for s in SYSTEM_NAMES if s in ("arm_original", "neon_dsa"))
     specs: list[RunSpec] = []
     for workload in workloads or list(PAPER_WORKLOADS):
         for system in systems or SYSTEM_NAMES:
             stages = dsa_stages if system == "neon_dsa" else ("full",)
             for stage in stages:
-                specs.append(RunSpec(workload, system, stage, scale, seed))
+                specs.append(
+                    RunSpec(workload, system, stage, scale, seed, backend, vl)
+                )
     return specs
 
 

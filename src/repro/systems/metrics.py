@@ -49,6 +49,8 @@ class RunResult:
     timing_stats: dict[str, int] = field(default_factory=dict)
     energy: EnergyReport = field(default_factory=EnergyReport)
     dsa_stats: DSAStats | None = None
+    backend: str = "neon"       # vector backend the run executed on
+    vl: int = 128               # vector length in bits
 
     # -- the quantities the experiments derive -------------------------
     @property
@@ -77,6 +79,10 @@ class RunResult:
             for name in _COUNTER_FIELDS:
                 stats[name] = dict(stats[name])
             d["dsa_stats"] = stats
+        # the default backend (neon, 128) is omitted so pre-backend result
+        # records, journals and cache payloads stay byte-identical
+        if self.backend == "neon" and self.vl == 128:
+            del d["backend"], d["vl"]
         return d
 
     @classmethod
@@ -91,7 +97,14 @@ class RunResult:
         return cls(**d)
 
 
-def summarize_run(result: SystemResult, scale: str, seed: int | None, dsa_stage: str) -> RunResult:
+def summarize_run(
+    result: SystemResult,
+    scale: str,
+    seed: int | None,
+    dsa_stage: str,
+    backend: str = "neon",
+    vl: int = 128,
+) -> RunResult:
     """Collapse a live :class:`SystemResult` into its serializable record."""
     core_result = result.run.result
     timing = result.run.core.timing.stats
@@ -109,6 +122,8 @@ def summarize_run(result: SystemResult, scale: str, seed: int | None, dsa_stage:
         timing_stats=asdict(timing),
         energy=result.energy,
         dsa_stats=result.dsa_stats,
+        backend=backend,
+        vl=vl,
     )
 
 

@@ -12,7 +12,7 @@ how DLP is exploited:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace as dc_replace
 
 import numpy as np
 
@@ -93,6 +93,8 @@ def run_system(
     injector=None,
     max_seconds: float | None = None,
     observer=None,
+    backend: str | None = None,
+    vl: int | None = None,
 ) -> SystemResult:
     """Run one workload on one system and (optionally) verify its outputs.
 
@@ -103,9 +105,26 @@ def run_system(
     corrupting speculative DSA state (``neon_dsa``) or architectural NEON
     lanes (static SIMD systems).  ``max_seconds`` bounds the run's wall
     clock (see :func:`repro.systems.runner.execute_kernel`).  ``observer``
-    attaches a :class:`repro.observe.Observer` to the core, its NEON engine
-    and (on ``neon_dsa``) the DSA; observation never changes the result.
+    attaches a :class:`repro.observe.Observer` to the core, its vector
+    engine and (on ``neon_dsa``) the DSA; observation never changes the
+    result.  ``backend``/``vl`` select the vector engine (see
+    :func:`repro.vector.get_backend`), overriding what ``cpu_config``
+    carries; the static NEON binaries (``neon_autovec``/``neon_handvec``)
+    assume 128-bit registers, so a wider VL is rejected for them.
     """
+    cpu_config = cpu_config or DEFAULT_CPU_CONFIG
+    if backend is not None or vl is not None:
+        cpu_config = dc_replace(
+            cpu_config,
+            vector_backend=backend if backend is not None else cpu_config.vector_backend,
+            vector_length=vl if vl is not None else cpu_config.vector_length,
+        )
+    if cpu_config.vector_length != 128 and system in ("neon_autovec", "neon_handvec"):
+        raise ConfigError(
+            f"system {system!r} executes a static 128-bit NEON binary and "
+            f"cannot run at VL={cpu_config.vector_length}; only arm_original "
+            f"and neon_dsa (timing-only bursts) support wider vectors"
+        )
     lowered = lower_for(system, workload)
     dsa = None
     attach = None
@@ -122,7 +141,7 @@ def run_system(
 
         def observed_attach(core):
             core.observer = observer
-            core.neon.observer = observer
+            core.vector.observer = observer
             if inner_attach is not None:
                 inner_attach(core)
 
@@ -130,7 +149,7 @@ def run_system(
     run = execute_kernel(
         lowered,
         workload.fresh_args(),
-        config=cpu_config or DEFAULT_CPU_CONFIG,
+        config=cpu_config,
         attach=attach,
         max_instructions=max_instructions,
         max_seconds=max_seconds,

@@ -1,0 +1,64 @@
+"""Backend-neutral vector execution (ROADMAP item 3).
+
+The stable public surface of the vector layer:
+
+>>> from repro.vector import get_backend
+>>> be = get_backend("scalable", 256)
+>>> be.width_bytes, be.lanes_for(DType.S32)
+(32, 8)
+
+Everything above the engines (core dispatch, DSA template lowering, the
+energy model) goes through :class:`VectorBackend`; constructing
+:class:`repro.neon.NeonEngine` directly is deprecated in favour of
+``get_backend("neon")`` so call sites stay backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .backend import (
+    VALID_VECTOR_LENGTHS,
+    VectorBackend,
+    VectorStats,
+    VMemEvent,
+)
+from .scalable import ScalableEngine
+
+#: names accepted by :func:`get_backend`, CPUConfig.vector_backend,
+#: RunSpec.backend and `repro campaign --backend`
+BACKEND_NAMES = ("neon", "scalable")
+
+
+def get_backend(name: str, vl: int = 128) -> VectorBackend:
+    """Construct a vector backend by name at vector length ``vl`` (bits).
+
+    The single supported way to build an engine: ``get_backend("neon")``
+    for the paper's fixed 128-bit NEON unit (``vl`` must be 128), or
+    ``get_backend("scalable", vl)`` for the VLA engine at
+    ``vl`` ∈ {128, 256, 512, 1024}.
+    """
+    if name == "neon":
+        if vl != 128:
+            raise ConfigError(
+                f"the neon backend is fixed at VL=128, got VL={vl}; "
+                f"use the scalable backend for wider vectors"
+            )
+        from ..neon.engine import NeonEngine  # deferred: repro.neon is heavier
+
+        return NeonEngine()
+    if name == "scalable":
+        return ScalableEngine(vl)
+    raise ConfigError(
+        f"unknown vector backend {name!r} (choose from {BACKEND_NAMES})"
+    )
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "VALID_VECTOR_LENGTHS",
+    "VectorBackend",
+    "VectorStats",
+    "VMemEvent",
+    "ScalableEngine",
+    "get_backend",
+]

@@ -1,20 +1,34 @@
-"""The NEON engine: architectural Q registers + functional execution.
+"""A vector-length-agnostic (SVE/RVV-style) engine.
 
-The engine owns the sixteen 128-bit Q registers (paper, Table 4) and knows
-how to execute every vector instruction against a :class:`MainMemory`.
-Timing lives in :class:`repro.cpu.timing.TimingModel`; this class is purely
-functional so the DSA can also run generated bursts against memory
-*snapshots* for equivalence checking without touching timing state.
+Unlike NEON's fixed 128-bit Q registers, the scalable engine is built for
+one configurable vector length VL ∈ {128, 256, 512, 1024} bits.  The same
+vector program runs at any width: full-width loads and stores move
+``width_bytes`` per instruction and post-increment the base register by
+``width_bytes``, so a loop template built against this backend covers
+``lanes_for(dtype)`` iterations per burst instead of NEON's 128-bit lane
+count.
+
+Predication follows the SVE ``whilelt`` idiom: a *prefix* predicate marks
+the first N lanes active.  Memory instructions honour it — a predicated
+load zeroes the inactive tail (the ``/z`` zeroing form) and touches only
+the active bytes; a predicated store writes only the active bytes.
+Register-to-register arithmetic is unpredicated (all lanes compute);
+with zeroed inactive inputs and masked stores that is architecturally
+sufficient for tail handling, which is the only thing the DSA needs a
+predicate for.
+
+At VL=128 with the predicate fully active, every operation here is
+byte-identical to :class:`repro.neon.NeonEngine` — the differential
+parity suite (`tests/vector/test_backend_parity.py`) holds the two
+engines to that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from ..errors import ExecutionError
-from ..isa.dtypes import NEON_WIDTH_BYTES, bits_to_float, float_to_bits, to_u32
+from ..errors import ConfigError, ExecutionError
+from ..isa.dtypes import DType, bits_to_float, float_to_bits, to_u32
 from ..isa.neon import (
     VBinOp,
     VBsl,
@@ -35,103 +49,102 @@ from ..isa.neon import (
     VUnary,
 )
 from ..memory.backing import MainMemory
+from ..neon import lanes
 from ..observe.events import EventKind
-from . import lanes
+from .backend import VALID_VECTOR_LENGTHS, VectorStats, VMemEvent
 
 
-@dataclass
-class NeonStats:
-    """Operation counters for the energy model."""
+class ScalableEngine:
+    """Functional model of a scalable vector unit at one configured VL."""
 
-    arith_ops: int = 0
-    mem_ops: int = 0
-    lane_ops: int = 0
-    bytes_loaded: int = 0
-    bytes_stored: int = 0
+    name = "scalable"
+    num_regs = 16  # the QReg operand encoding spans q0..q15 on any backend
 
-    def reset(self) -> None:
-        self.arith_ops = self.mem_ops = self.lane_ops = 0
-        self.bytes_loaded = self.bytes_stored = 0
-
-
-@dataclass(frozen=True, slots=True)
-class VMemEvent:
-    """A data-memory access performed by a vector instruction."""
-
-    addr: int
-    nbytes: int
-    is_write: bool
-
-
-class NeonEngine:
-    """Functional model of the 128-bit NEON data engine.
-
-    Implements the :class:`repro.vector.VectorBackend` protocol — prefer
-    constructing it through :func:`repro.vector.get_backend` ("neon", 128)
-    rather than directly, so call sites stay backend-neutral.
-    """
-
-    #: VectorBackend protocol surface
-    name = "neon"
-    vl_bits = 128
-    width_bytes = NEON_WIDTH_BYTES
-    num_regs = 16
-
-    def __init__(self) -> None:
-        self.q = [lanes.zero_register() for _ in range(16)]
-        self.stats = NeonStats()
+    def __init__(self, vl_bits: int = 128) -> None:
+        if vl_bits not in VALID_VECTOR_LENGTHS:
+            raise ConfigError(
+                f"scalable backend vector length must be one of "
+                f"{VALID_VECTOR_LENGTHS}, got {vl_bits}"
+            )
+        self.vl_bits = vl_bits
+        self.width_bytes = vl_bits // 8
+        self.q = [lanes.zero_register(self.width_bytes) for _ in range(self.num_regs)]
+        self.stats = VectorStats()
+        #: active-prefix predicate: memory ops touch the first pred_bytes
+        #: bytes of each transfer; width_bytes means "all lanes active"
+        self.pred_bytes = self.width_bytes
         #: fault-injection hook: called as hook(instr, q) after each
-        #: executed instruction, free to corrupt the register file — the
-        #: golden check downstream is what must catch the damage
+        #: executed instruction (same contract as the NEON engine)
         self.fault_hook = None
-        #: optional repro.observe.Observer; when set, every architecturally
-        #: executed vector instruction emits a NEON_DISPATCH event
+        #: optional repro.observe.Observer; dispatch events reuse the
+        #: NEON_DISPATCH kind so exporters need no second schema
         self.observer = None
 
     # ------------------------------------------------------------------
-    def lanes_for(self, dtype) -> int:
-        """Element lanes one register holds at this backend's width."""
-        return NEON_WIDTH_BYTES // dtype.size
+    def lanes_for(self, dtype: DType) -> int:
+        return self.width_bytes // dtype.size
 
-    def read_q(self, index: int) -> np.ndarray:
+    def set_predicate(self, active_lanes: int, dtype: DType) -> None:
+        """Activate the first ``active_lanes`` lanes of ``dtype`` (whilelt)."""
+        nbytes = active_lanes * dtype.size
+        if not 0 <= nbytes <= self.width_bytes:
+            raise ExecutionError(
+                f"predicate of {active_lanes} {dtype} lanes does not fit in "
+                f"{self.width_bytes} bytes"
+            )
+        self.pred_bytes = nbytes
+
+    def clear_predicate(self) -> None:
+        """Back to all-lanes-active."""
+        self.pred_bytes = self.width_bytes
+
+    def read_reg(self, index: int) -> np.ndarray:
         return self.q[index].copy()
 
-    def write_q(self, index: int, image: np.ndarray) -> None:
-        if image.nbytes != NEON_WIDTH_BYTES:
-            raise ExecutionError("Q register image must be 16 bytes")
+    def write_reg(self, index: int, image: np.ndarray) -> None:
+        if image.nbytes != self.width_bytes:
+            raise ExecutionError(
+                f"register image must be {self.width_bytes} bytes at "
+                f"VL={self.vl_bits}"
+            )
         self.q[index] = image.astype(np.uint8, copy=True)
 
-    # protocol-spelled aliases for the register file accessors
-    read_reg = read_q
-    write_reg = write_q
+    # NEON-spelled aliases so engine-generic test helpers can poke either
+    read_q = read_reg
+    write_q = write_reg
 
     def reset(self) -> None:
-        self.q = [lanes.zero_register() for _ in range(16)]
+        self.q = [lanes.zero_register(self.width_bytes) for _ in range(self.num_regs)]
         self.stats.reset()
+        self.pred_bytes = self.width_bytes
 
     # ------------------------------------------------------------------
-    # per-class handlers (dispatched through _DISPATCH below; each returns
-    # the memory event it performed, or None for register-only operations)
+    # handlers (dict-dispatched; each returns its memory event or None)
     # ------------------------------------------------------------------
     def _exec_vload(self, instr: VLoad, regs, memory) -> VMemEvent:
         addr = regs[instr.base.index]
-        # zero-copy view + one materializing copy (the old read() path paid
-        # a bytes round-trip *and* a frombuffer copy per 16-byte load)
-        self.q[instr.qd.index] = memory.view(addr, NEON_WIDTH_BYTES).copy()
+        n = self.pred_bytes
+        if n == self.width_bytes:
+            self.q[instr.qd.index] = memory.view(addr, n).copy()
+        else:
+            img = lanes.zero_register(self.width_bytes)
+            img[:n] = memory.view(addr, n)
+            self.q[instr.qd.index] = img
         if instr.writeback:
-            regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
+            regs[instr.base.index] = to_u32(addr + self.width_bytes)
         self.stats.mem_ops += 1
-        self.stats.bytes_loaded += NEON_WIDTH_BYTES
-        return VMemEvent(addr, NEON_WIDTH_BYTES, False)
+        self.stats.bytes_loaded += n
+        return VMemEvent(addr, n, False)
 
     def _exec_vstore(self, instr: VStore, regs, memory) -> VMemEvent:
         addr = regs[instr.base.index]
-        memory.write(addr, self.q[instr.qs.index].tobytes())
+        n = self.pred_bytes
+        memory.write(addr, self.q[instr.qs.index][:n].tobytes())
         if instr.writeback:
-            regs[instr.base.index] = to_u32(addr + NEON_WIDTH_BYTES)
+            regs[instr.base.index] = to_u32(addr + self.width_bytes)
         self.stats.mem_ops += 1
-        self.stats.bytes_stored += NEON_WIDTH_BYTES
-        return VMemEvent(addr, NEON_WIDTH_BYTES, True)
+        self.stats.bytes_stored += n
+        return VMemEvent(addr, n, True)
 
     def _exec_vload_lane(self, instr: VLoadLane, regs, memory) -> VMemEvent:
         addr = regs[instr.base.index]
@@ -186,11 +199,15 @@ class NeonEngine:
     def _exec_vdup(self, instr: VDup, regs, memory) -> None:
         raw = regs[instr.rn.index]
         value = bits_to_float(raw) if instr.dtype.is_float else raw
-        self.q[instr.qd.index] = lanes.broadcast(value, instr.dtype)
+        self.q[instr.qd.index] = lanes.broadcast(
+            value, instr.dtype, lanes=self.lanes_for(instr.dtype)
+        )
         self.stats.lane_ops += 1
 
     def _exec_vdup_imm(self, instr: VDupImm, regs, memory) -> None:
-        self.q[instr.qd.index] = lanes.broadcast(instr.value, instr.dtype)
+        self.q[instr.qd.index] = lanes.broadcast(
+            instr.value, instr.dtype, lanes=self.lanes_for(instr.dtype)
+        )
         self.stats.lane_ops += 1
 
     def _exec_vcmp(self, instr: VCmp, regs, memory) -> None:
@@ -224,7 +241,6 @@ class NeonEngine:
         )
         self.stats.lane_ops += 1
 
-    #: type-keyed dispatch — one dict probe replaces the isinstance ladder
     _DISPATCH = {
         VLoad: _exec_vload,
         VStore: _exec_vstore,
@@ -246,12 +262,7 @@ class NeonEngine:
     def execute(
         self, instr: VInstr, regs: list[int], memory: MainMemory
     ) -> list[VMemEvent]:
-        """Execute one vector instruction.
-
-        ``regs`` is the core's scalar register file (mutated on writeback and
-        on vector->core moves).  Returns the memory events performed, for the
-        timing model and the cache hierarchy.
-        """
+        """Execute one vector instruction (see :meth:`NeonEngine.execute`)."""
         handler = self._DISPATCH.get(type(instr))
         if handler is None:
             raise ExecutionError(f"unknown vector instruction {instr!r}")
@@ -272,11 +283,7 @@ class NeonEngine:
         regs: list[int],
         memory: MainMemory,
     ) -> list[VMemEvent]:
-        """Execute a burst of vector instructions; returns all memory events.
-
-        Used by the DSA's functional-equivalence verification: the burst runs
-        against a memory snapshot with a private register file.
-        """
+        """Execute a burst of vector instructions; returns all memory events."""
         events: list[VMemEvent] = []
         for instr in instrs:
             events.extend(self.execute(instr, regs, memory))
