@@ -310,12 +310,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for specs in specs_by_backend.values()
     ])
     degradation = {k: v for k, v in outcome.degradation.items() if v}
+    # where the host simulator actually spent its retirements, summed over
+    # the live runs of this invocation (cache hits did no simulation and
+    # therefore contribute nothing)
+    tier_residency: dict[str, int] = {}
+    for m in outcome.metrics:
+        for tier, count in (m.tier_counts or {}).items():
+            tier_residency[tier] = tier_residency.get(tier, 0) + count
     if args.json:
         record = report.to_dict()
         record["degradation"] = outcome.degradation
+        record["tier_residency"] = tier_residency
         print(json.dumps(record, indent=2, sort_keys=True))
     else:
         print(report.table())
+        total = sum(tier_residency.values())
+        if total:
+            print("tier residency: " + ", ".join(
+                f"{tier}={count} ({count / total:.1%})"
+                for tier, count in sorted(tier_residency.items(), key=lambda kv: -kv[1])
+            ))
         if degradation:
             print("degradation: " + ", ".join(
                 f"{k.replace('_', ' ')}={v}" for k, v in sorted(degradation.items())

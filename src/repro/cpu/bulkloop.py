@@ -473,6 +473,9 @@ def _gen_bulk(dec, head, br, config, scalar_run):
         "        now, slot_cycle, slots_used, flags_ready, last_completion,",
         "        neon_next_issue, neon_burst_open,",
         f"        iters * {n}, 0, mem_stall, mispredicts)",
+        # batched iterations are their own residency tier; the scalar-bail
+        # tail below is accounted as compiled by the dispatching loop
+        f"    core.tier_counts['bulk'] += iters * {n}",
         "    if bail and taken:",
         "        try:",
         "            seq, taken, _i2 = scalar_run(core, seq, limit)",

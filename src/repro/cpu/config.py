@@ -85,6 +85,17 @@ class CPUConfig:
     #: lower eligible straight-line lane math (affine load/ALU/store
     #: bodies) to a numpy kernel inside the compiled block
     compile_numpy: bool = True
+    #: covered execution: once an attached DSA has fully characterized a
+    #: loop (template built, verdict rendered, address streams stable) it
+    #: may declare the PC region *covered* and release whole iterations to
+    #: the record-free runners in ``repro.cpu.covered``, bulk-folding its
+    #: own per-record bookkeeping afterwards.  The DSA re-arms (the traced
+    #: loop resumes, exactly as with this knob off) on any phase-change
+    #: signal: control leaving the region, a new backward branch inside
+    #: it, an address misprediction, guard mode, an active fault plan, an
+    #: attached observer, or a wall-clock deadline hook.  Byte-identical
+    #: results either way; requires ``predecode``
+    covered_execution: bool = True
     #: which vector engine the core instantiates — a name accepted by
     #: repro.vector.get_backend ("neon" = the paper's fixed 128-bit unit,
     #: "scalable" = the VLA engine)

@@ -74,6 +74,10 @@ class CoreResult:
     halted: bool
     icounts: Counter = field(default_factory=Counter)
     hierarchy_stats: dict = field(default_factory=dict)
+    #: instructions retired per execution tier (legacy / fast / traced /
+    #: compiled / bulk / covered) — diagnostic only, never serialized into
+    #: the canonical RunResult payload
+    tier_counts: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -118,6 +122,20 @@ class Core:
         #: (iterations, op-index) a faulting compiled block leaves behind so
         #: the dispatch loop can reconstruct the exact architected state
         self._block_fault: tuple[int, int] | None = None
+        #: instructions retired per execution tier; every run loop folds its
+        #: residency here (see CoreResult.tier_counts)
+        self.tier_counts: Counter = Counter()
+        #: covered-execution hand-off, installed by DSA.attach when
+        #: config.covered_execution: called at every taken backward branch
+        #: in the traced loop as cover_hook(head_pc, max_instructions);
+        #: truthy means skip traced-block dispatch for this branch — a
+        #: record-free covered stretch retired (control is wherever it left
+        #: the region) or the hook is holding the loop in the interpreter
+        #: while the region's verdict matures
+        self.cover_hook: Callable[[int, int], bool] | None = None
+        #: loop-boundary crossings of the last covered.run_scalar_region
+        #: call (retirements of the region's end branch, either direction)
+        self._region_boundaries: int = 0
 
     @property
     def neon(self):
@@ -313,8 +331,12 @@ class Core:
         if self.config.predecode:
             self._run_decoded(max_instructions)
         else:
-            while not self.halted and self.seq < max_instructions:
-                self.step()
+            s0 = self.seq
+            try:
+                while not self.halted and self.seq < max_instructions:
+                    self.step()
+            finally:
+                self.tier_counts["legacy"] += self.seq - s0
         if not self.halted:
             raise ExecutionError(
                 f"program did not halt within {max_instructions} instructions"
@@ -327,6 +349,7 @@ class Core:
             halted=self.halted,
             icounts=self.icounts.copy(),
             hierarchy_stats=self.hierarchy.stats_dict(),
+            tier_counts={k: v for k, v in self.tier_counts.items() if v},
         )
 
     # ------------------------------------------------------------------
@@ -364,7 +387,11 @@ class Core:
         hierarchy_access = self.hierarchy.access
         counts = [0] * len(ops)
         hot = self._hotspots
+        tier = self.tier_counts
         seq = self.seq
+        seq0 = seq
+        blk_ops = 0            # retired inside compiled blocks (incl. bulk)
+        b0 = tier["bulk"]      # bulk batches bump their tier directly
         pc = self.pc
         idx = (pc - base) >> 2
         try:
@@ -415,6 +442,7 @@ class Core:
                     elif blk is _FAILED:
                         blk = None
                     if blk is not None and seq + blk.n_ops <= max_instructions:
+                        s_blk = seq
                         try:
                             seq, taken, iters = blk.run(self, seq, max_instructions)
                         except BaseException:
@@ -422,7 +450,9 @@ class Core:
                             # the faulting op (not retired, like the
                             # interpreted loops)
                             f_iters, f_k = self._block_fault
-                            seq += f_iters * blk.n_ops + f_k
+                            d = f_iters * blk.n_ops + f_k
+                            seq += d
+                            blk_ops += d
                             pc = blk.head_pc + (f_k << 2)
                             h0 = blk.head_idx
                             for j in range(blk.n_ops):
@@ -430,6 +460,7 @@ class Core:
                                 if c:
                                     counts[h0 + j] += c
                             raise
+                        blk_ops += seq - s_blk
                         if iters:
                             h0 = blk.head_idx
                             for j in range(blk.n_ops):
@@ -451,11 +482,26 @@ class Core:
                 c = counts[i]
                 if c:
                     icounts[ops[i].kind_name] += c
+            bulk_d = tier["bulk"] - b0
+            tier["compiled"] += blk_ops - bulk_d
+            tier["fast"] += (seq - seq0) - blk_ops
 
     def _run_decoded_traced(self, dec: DecodedProgram, max_instructions: int) -> None:
         """Full-fidelity loop: builds every TraceRecord and drives the
         suppressor and retire hooks exactly like step(), but executes through
         the predecoded closures and precomputed register metadata."""
+        hot = self._hotspots if self.config.compile_traced else None
+        tier = self.tier_counts
+        seq0 = self.seq
+        # the other tiers fold their own residency; traced is the residual
+        c0 = tier["compiled"] + tier["bulk"] + tier["covered"]
+        try:
+            self._traced_loop(dec, max_instructions, hot)
+        finally:
+            other = tier["compiled"] + tier["bulk"] + tier["covered"] - c0
+            tier["traced"] += (self.seq - seq0) - other
+
+    def _traced_loop(self, dec: DecodedProgram, max_instructions: int, hot) -> None:
         ops = dec.ops
         base = dec.base
         n = dec.n
@@ -465,7 +511,7 @@ class Core:
         charge_vector = timing.charge_vector_decoded
         hierarchy_access = self.hierarchy.access
         icounts = self.icounts
-        hot = self._hotspots if self.config.compile_traced else None
+        tier = self.tier_counts
         while not self.halted and self.seq < max_instructions:
             pc = self.pc
             idx = (pc - base) >> 2
@@ -523,16 +569,22 @@ class Core:
             self.pc = next_pc
             for hook in self.retire_hooks:
                 hook(record)
-            # trace-compiled tier: on a taken backward branch whose target
-            # the hooks left alone, run whole iterations through the
-            # specialized per-instruction code (records still delivered)
+            # a taken backward branch the hooks left alone is the hand-off
+            # point for the record-free tiers: first offer the region to
+            # covered execution (the DSA bulk-folds its own bookkeeping),
+            # else run whole iterations through the trace-compiled block
+            # (records still delivered one per instruction)
             if (
-                hot is not None
-                and branch_taken
+                branch_taken
                 and next_pc < pc
                 and not self.halted
                 and self.pc == next_pc
             ):
+                cover = self.cover_hook
+                if cover is not None and cover(next_pc, max_instructions):
+                    continue
+                if hot is None:
+                    continue
                 new_idx = (next_pc - base) >> 2
                 if new_idx >= 0 and next_pc == base + (new_idx << 2):
                     blk = hot.traced[new_idx]
@@ -541,7 +593,11 @@ class Core:
                     elif blk is _FAILED:
                         blk = None
                     if blk is not None:
-                        blk.run(self, max_instructions)
+                        s_blk = self.seq
+                        try:
+                            blk.run(self, max_instructions)
+                        finally:
+                            tier["compiled"] += self.seq - s_blk
 
 
 def run_program(

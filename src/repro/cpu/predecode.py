@@ -16,6 +16,13 @@ the dominant host-side costs.  This module lowers an assembled
   so the timing model charges cycles without touching the instruction
   object again (see ``TimingModel.charge_scalar_decoded``).
 
+The :class:`DecodedOp` array is also the substrate every higher execution
+tier compiles or scans from — trace-compiled blocks
+(:mod:`repro.cpu.blockcompile`), numpy bulk loops
+(:mod:`repro.cpu.bulkloop`) and covered-execution regions
+(:mod:`repro.cpu.covered`) all consume the static metadata here rather
+than re-deriving it from instruction objects.
+
 The closures execute *exactly* the legacy ``Core.step()`` semantics — same
 pure functions from :mod:`repro.cpu.executor`, same ordering — which the
 golden byte-identity suite (``tests/cpu/test_predecode_identity.py``)
@@ -86,6 +93,7 @@ class DecodedOp:
         "reads_flags",   # static: conditional branch
         "sets_flags",    # static: Cmp, or Alu with the S suffix
         "cond_link",     # static: conditional branch-link (BL<cond>)
+        "branch_target", # static target of an assembled Branch, else None
         "latency",       # scalar or vector execution latency (cycles)
         "wb_index",      # Mem writeback base register index, or None
         "is_vector",     # dispatched to the NEON pipeline
@@ -106,6 +114,11 @@ class DecodedOp:
         )
         self.cond_link = (
             isinstance(instr, Branch) and instr.link and instr.cond is not Cond.AL
+        )
+        self.branch_target = (
+            instr.target
+            if isinstance(instr, Branch) and isinstance(instr.target, int)
+            else None
         )
         self.wb_index = (
             instr.addr.base.index

@@ -36,6 +36,7 @@ from enum import Enum
 import numpy as np
 
 from ..cpu.core import Core
+from ..cpu.covered import compile_covered, run_scalar_region, scan_region
 from ..cpu.trace import TraceRecord
 from ..errors import ReproError
 from ..observe.events import EventKind
@@ -149,7 +150,11 @@ class _LoopContext:
         self.state = _State.COLLECT
         self.iteration = 1           # completed iterations
         self.window: list[TraceRecord] = []
-        self.path_windows: dict[tuple, list[list[TraceRecord]]] = {}
+        #: per path signature (the tuple of pcs one iteration retired), the
+        #: iterations that took it: ``{sig: [(iteration, window), ...]}``
+        #: where ``window`` is that iteration's full record list — the
+        #: shape ``_loop_shape`` and the conditional-verdict logic consume
+        self.path_windows: dict[tuple, list[tuple[int, list[TraceRecord]]]] = {}
         self.path_counts: Counter = Counter()
         self.streams: dict[int, MemStream] = {}
         self.call_depth = 0
@@ -175,6 +180,22 @@ class _LoopContext:
     # ------------------------------------------------------------------
     def contains(self, pc: int) -> bool:
         return (self.loop_id <= pc <= self.end_pc) or self.call_depth > 0
+
+
+#: "no plan built yet" marker for the cover-plan cache (None is a verdict)
+_UNBUILT = object()
+
+#: states where a loop's vectorization verdict is still being formed — a
+#: statically coverable region in one of these holds the traced
+#: interpreter (see DynamicSIMDAssembler._cover_hook) instead of letting
+#: a compiled traced block run the loop to completion
+_MATURING = (_State.COLLECT, _State.ANALYZE, _State.MAP_ANALYZE)
+
+#: cover-hook dispatch modes (sentinels compared by identity)
+_COVER_SUPPRESSED = object()   # suppressed EXECUTE: codegen replay, zero timing
+_COVER_POSTLIMIT = object()    # EXECUTE past the coverage limit: normal timing
+_COVER_SCALAR = object()       # SCALAR verdict: record-free fast tier
+_COVER_HOLD = object()         # verdict maturing: stay in the interpreter
 
 
 class DynamicSIMDAssembler:
@@ -225,6 +246,12 @@ class DynamicSIMDAssembler:
         #: contexts that sample memory streams (EXECUTE state) — the only
         #: ones a passive-window memory record can reach
         self._sampling_ctxs: tuple[_LoopContext, ...] = ()
+        #: covered execution: static region analysis cached per
+        #: (loop_id, end_pc); None records a region that can never cover
+        self._cover_plans: dict[tuple[int, int], object] = {}
+        #: loops an observed run reported as cover-eligible (LOOP_COVERED
+        #: emitted) and not yet re-armed — observability bookkeeping only
+        self._cover_marked: set[int] = set()
 
     @property
     def _verify_enabled(self) -> bool:
@@ -241,6 +268,8 @@ class DynamicSIMDAssembler:
         core.retire_hooks.append(self.on_record)
         core.timing_suppressor = self._suppressor
         self._vector = core.vector
+        if core.config.covered_execution and core.config.predecode:
+            core.cover_hook = self._cover_hook
 
     def _suppressor(self, record: TraceRecord) -> bool:
         return record.pc in self._suppress_set
@@ -269,6 +298,255 @@ class DynamicSIMDAssembler:
             if ctx.suppress_active:
                 pcs.update(ctx.suppress_pcs)
         self._suppress_set = frozenset(pcs)
+
+    # ------------------------------------------------------------------
+    # covered execution (the record-free release protocol)
+    # ------------------------------------------------------------------
+    # Once a loop is fully characterized, tracing it buys nothing: the
+    # per-record effects are *predictable* (suppressed EXECUTE: one
+    # suppressed retirement plus one expected-address check per memory op
+    # per iteration; SCALAR: just the observation counter).  The cover
+    # hook — installed by attach() when CPUConfig.covered_execution —
+    # lets the core hand a whole region to the record-free runners in
+    # repro.cpu.covered and bulk-folds the identical bookkeeping after
+    # the fact, so every serialized stat, cycle and context transition
+    # stays byte-identical to the traced loop.  Any phase-change signal
+    # re-arms tracing: control leaving the region, an address
+    # misprediction, the coverage limit, a backward branch the static
+    # scan did not bless, guard mode, a fault injector, an attached
+    # observer, or extra retire hooks (e.g. a wall-clock deadline).
+    def _cover_hook(self, head_pc: int, limit: int) -> bool:
+        """Called by the traced loop at every taken backward branch.
+
+        Returns truthy when the core should skip traced-block dispatch
+        for this branch: either a covered stretch just retired
+        record-free (control is wherever it left the region), or the
+        region is *maturing* — statically coverable but the state
+        machine has not rendered its verdict yet, so the core stays in
+        the (byte-identical) interpreter where this hook keeps firing
+        each iteration instead of letting a compiled traced block
+        swallow the whole loop before suppression can begin.  False
+        re-arms the traced loop exactly as if covering did not exist.
+        """
+        ctx = self.contexts.get(head_pc)
+        if ctx is None:
+            return False
+        state = ctx.state
+        if state is _State.EXECUTE:
+            if ctx.pending_abort_reason is not None:
+                return False
+            # suppressed EXECUTE replays the codegen block; once the
+            # coverage limit deactivates suppression the remaining
+            # iterations run with normal timing ("post-limit")
+            mode = _COVER_SUPPRESSED if ctx.suppress_active else _COVER_POSTLIMIT
+        elif state is _State.SCALAR:
+            mode = _COVER_SCALAR
+        elif state in _MATURING:
+            mode = _COVER_HOLD  # verdict pending: maybe hold the interpreter
+        else:
+            return False  # COND_EXECUTE keeps tracing
+        if self.guard or self.injector is not None:
+            return False
+        core = self.core
+        if self.observer is not None or core.observer is not None:
+            return False  # observation needs the record stream
+        hooks = core.retire_hooks
+        if (
+            len(hooks) != 1
+            or hooks[0] != self.on_record  # == : bound methods are re-created per access
+            or core.timing_suppressor != self._suppressor
+        ):
+            return False  # someone else reads records (deadline hook, ...)
+        plan = self._cover_plan(head_pc, ctx.end_pc)
+        if plan is None:
+            return False
+        if mode is _COVER_HOLD:
+            # statically coverable but still COLLECT/ANALYZE/MAP_ANALYZE:
+            # hold the interpreter so the hook sees the verdict land
+            return True
+        # every other live context must be inert (SCALAR) and must contain
+        # this region: an out-of-range context would be finalized by the
+        # first record of each iteration, and delaying that could diverge
+        # loop re-detection
+        for other in self._ctx_snapshot:
+            if other is ctx:
+                continue
+            if other.state is not _State.SCALAR:
+                return False
+            if other.call_depth <= 0 and not (
+                other.loop_id <= head_pc and ctx.end_pc <= other.end_pc
+            ):
+                return False
+        if mode is _COVER_SUPPRESSED:
+            return self._run_suppressed_cover(ctx, plan, limit)
+        if self._suppress_set:
+            return False  # records in-region would be claimed: keep tracing
+        if mode is _COVER_POSTLIMIT:
+            if not plan.stride_safe:
+                return False  # sample appends would be live state
+            if any(pc not in ctx.streams for pc in plan.mem_pcs):
+                return False  # a fresh pc would raise an unknown-path abort
+            return self._run_postlimit_cover(ctx, plan, limit)
+        return self._run_scalar_cover(plan, limit)
+
+    def _cover_plan(self, head_pc: int, end_pc: int):
+        key = (head_pc, end_pc)
+        plan = self._cover_plans.get(key, _UNBUILT)
+        if plan is _UNBUILT:
+            dec = self.core._decoded if self.core is not None else None
+            plan = scan_region(dec, head_pc, end_pc) if dec is not None else None
+            if plan is not None and plan.straight:
+                compile_covered(dec, plan)
+            self._cover_plans[key] = plan
+        return plan
+
+    def _run_suppressed_cover(self, ctx: _LoopContext, plan, limit: int) -> bool:
+        """Release a suppressed-EXECUTE region and replay the DSA effects.
+
+        The traced world's per-record effects during suppressed execution
+        are exactly: note_suppressed() per retirement, records_observed,
+        one expected-address comparison per memory op (mismatch ⇒ pending
+        abort + a non-vectorizable cache insert), covered/iteration bumps
+        at each boundary, deactivation at the coverage limit, and abort at
+        a *taken* boundary with a pending reason.  (Stream samples are
+        also appended, but during suppression they equal the prediction by
+        construction — a deviating access aborts instead — so skipping
+        them is unobservable: ``gap()`` and ``addr_at`` are fixed by the
+        first samples.)  All of it is folded here in bulk.
+        """
+        if plan.block is None or ctx.suppress_pcs != plan.pcs:
+            return False
+        if ctx.suppress_limit is not None:
+            budget = ctx.suppress_limit - ctx.covered
+            if budget <= 0:
+                return False
+        else:
+            budget = 1 << 60
+        current = ctx.iteration + 1
+        exps: list[int] = []
+        gaps: list[int] = []
+        for pc in plan.mem_pcs:
+            stream = ctx.streams.get(pc)
+            if stream is None:
+                return False  # unsampled access pattern: keep tracing
+            a = stream.addr_at(current)
+            if a is None:
+                return False  # irregular stride: every access must abort-check
+            exps.append(a)
+            gaps.append(stream.gap())
+        core = self.core
+        cache = self.cache
+        loop_id = ctx.loop_id
+        n = plan.n_ops
+
+        def on_mismatch() -> None:
+            # replay of _sample_stream's misprediction branch, once per
+            # deviating access (repeat inserts only refresh LRU order)
+            ctx.pending_abort_reason = "address misprediction"
+            cache.insert(loop_id, CacheEntry(
+                kind=LoopKind.NON_VECTORIZABLE,
+                vectorizable=False,
+                reason="address misprediction at runtime",
+            ))
+
+        seq0 = core.seq
+        try:
+            seq, taken, iters, bad = plan.block(
+                core, seq0, limit, budget, exps, gaps, on_mismatch
+            )
+        except BaseException:
+            f_iters, f_k = core._block_fault
+            core.seq = seq0 + f_iters * n + f_k
+            core.pc = plan.head_pc + (f_k << 2)
+            self._fold_covered(plan, f_iters, f_k)
+            ctx.iteration += f_iters
+            ctx.covered += f_iters  # completed iterations all hit boundaries
+            raise
+        core.seq = seq
+        core.pc = plan.head_pc if taken else plan.end_pc + 4
+        self._fold_covered(plan, iters, 0)
+        ctx.iteration += iters
+        if bad:
+            if taken:
+                # the bad iteration reached a taken boundary: abort before
+                # its covered increment, exactly like _iteration_boundary
+                ctx.covered += iters - 1
+                self._abort_execution(ctx)
+            else:
+                # fall-through exit never checks pending aborts — the final
+                # iteration still counts and commits later (same quirk as
+                # _observe's fall-through arm)
+                ctx.covered += iters
+        else:
+            ctx.covered += iters
+            if (
+                taken
+                and ctx.suppress_limit is not None
+                and ctx.covered >= ctx.suppress_limit
+            ):
+                ctx.suppress_active = False
+                self._rebuild_suppression()
+        return iters > 0
+
+    def _fold_covered(self, plan, iters: int, k: int) -> None:
+        """Bulk-fold what the traced world would have done per record."""
+        retired = iters * plan.n_ops + k
+        if not retired:
+            return
+        core = self.core
+        self.stats.records_observed += retired
+        core.timing.stats.suppressed_instructions += retired
+        core.tier_counts["covered"] += retired
+        icounts = core.icounts
+        if iters:
+            for kind, cnt in plan.kind_counts.items():
+                icounts[kind] += cnt * iters
+        if k:
+            ops = core._decoded.ops
+            h = plan.head_idx
+            for j in range(k):
+                icounts[ops[h + j].kind_name] += 1
+
+    def _run_postlimit_cover(self, ctx: _LoopContext, plan, limit: int) -> bool:
+        """Release an EXECUTE region whose coverage limit has passed.
+
+        After ``_iteration_boundary`` deactivates suppression, the traced
+        world runs the remaining iterations with *normal* timing; the only
+        per-record DSA effects are ``records_observed``, the per-boundary
+        ``ctx.iteration`` bump, and one stream sample append per memory op
+        per iteration.  The eligibility gate (``plan.stride_safe`` plus a
+        live stream for every memory pc) proves those appends would
+        continue each stream's exact stride — and ``MemStream.gap()``
+        tolerates iteration holes — so every later read (``gap()`` and
+        ``samples[0]`` at commit/verify time) is unchanged when they are
+        skipped.  The counters are folded here; timing, hierarchy traffic
+        and icounts are charged natively by :func:`run_scalar_region`.
+        """
+        core = self.core
+        seq0 = core.seq
+        try:
+            run_scalar_region(core, plan, limit)
+        finally:
+            self.stats.records_observed += core.seq - seq0
+            ctx.iteration += core._region_boundaries
+        return core.seq > seq0
+
+    def _run_scalar_cover(self, plan, limit: int) -> bool:
+        """Release a SCALAR-verdict region to the record-free fast tier.
+
+        A SCALAR context's only per-record effect inside its range is the
+        observation counter: sampling is state-gated off, windows are not
+        appended, and the boundary bumps an iteration count nothing reads
+        for SCALAR.  Timing/hierarchy run normally — the bounded runner
+        charges them identically to the traced loop.
+        """
+        core = self.core
+        seq0 = core.seq
+        try:
+            run_scalar_region(core, plan, limit)
+        finally:
+            self.stats.records_observed += core.seq - seq0
+        return core.seq > seq0
 
     # ------------------------------------------------------------------
     # record stream
@@ -507,6 +785,7 @@ class DynamicSIMDAssembler:
                 if ctx.suppress_limit is not None and ctx.covered >= ctx.suppress_limit:
                     ctx.suppress_active = False
                     self._rebuild_suppression()
+                    self._note_rearm(ctx, "coverage limit reached")
         elif ctx.state is _State.COND_EXECUTE:
             if ctx.pending_abort_reason:
                 self._abort_execution(ctx)
@@ -1048,6 +1327,43 @@ class DynamicSIMDAssembler:
         if self._verify_enabled:
             ctx.snapshot = self._capture_snapshot(template, ctx.first_covered, ctx.suppress_limit or remaining)
         self._rebuild_suppression()
+        if self.observer is not None:
+            self._note_would_cover(ctx)
+
+    def _note_would_cover(self, ctx: _LoopContext) -> None:
+        """Observed runs only: covering needs the record stream gone, so it
+        is disabled under observation — instead, document (LOOP_COVERED)
+        that this configuration would release the region record-free, and
+        COVER_REARM later marks the phase change that would force tracing
+        back.  Anchored to the state machine, not the run loop, so the
+        emission points do not depend on block-compilation timing; configs
+        that cannot cover (predecode or the knob off) emit nothing."""
+        if self.guard or self.injector is not None:
+            return
+        core = self.core
+        if (
+            core is None
+            or not core.config.covered_execution
+            or not core.config.predecode
+        ):
+            return
+        plan = self._cover_plan(ctx.loop_id, ctx.end_pc)
+        if plan is None or plan.block is None or ctx.suppress_pcs != plan.pcs:
+            return
+        self._cover_marked.add(ctx.loop_id)
+        self.observer.emit(
+            EventKind.LOOP_COVERED, cycle=self._obs_cycle(),
+            loop_id=hex(ctx.loop_id), mode="suppressed",
+        )
+
+    def _note_rearm(self, ctx: _LoopContext, reason: str) -> None:
+        if ctx.loop_id in self._cover_marked:
+            self._cover_marked.discard(ctx.loop_id)
+            if self.observer is not None:
+                self.observer.emit(
+                    EventKind.COVER_REARM, cycle=self._obs_cycle(),
+                    loop_id=hex(ctx.loop_id), reason=reason,
+                )
 
     def _begin_conditional_execution(self, ctx: _LoopContext, entry: CacheEntry, remaining: int) -> None:
         lanes = next(t.lanes for t in entry.path_templates.values() if t is not None)
@@ -1160,6 +1476,7 @@ class DynamicSIMDAssembler:
         ctx.covered = 0
         ctx.path_map = []
         self._rebuild_suppression()
+        self._note_rearm(ctx, ctx.pending_abort_reason or "execution aborted")
 
     # ------------------------------------------------------------------
     # finalization
@@ -1178,6 +1495,7 @@ class DynamicSIMDAssembler:
             self.contexts.pop(ctx.loop_id, None)
             self._ctx_snapshot = tuple(self.contexts.values())
             self._rebuild_suppression()
+            self._note_rearm(ctx, "control left the region")
 
     def _commit_straight(self, ctx: _LoopContext) -> None:
         entry = ctx.entry

@@ -105,6 +105,13 @@ class LoopTemplate:
     stores: list[StoreRoot]
     load_pcs: list[int]                    # streams consumed as vectors
     invariant_regs: list[int]              # scalar registers broadcast once
+    #: *aliases* of the engine's live per-pc streams, not copies.  Readers
+    #: must consume only stride facts — the anchor sample ``samples[0]``
+    #: and ``gap()``, both tolerant of iteration holes — never the sample
+    #: count or per-iteration history: covered execution legitimately
+    #: skips sample appends for iterations it proved stride-redundant
+    #: (see ``repro.cpu.covered._stride_safe``), so the list is sparse
+    #: exactly when the loop ran fastest.
     streams: dict[int, MemStream] = field(default_factory=dict)
     #: geometry of the vector backend the template lowers to — one
     #: register's width and the register-file size; set from

@@ -28,6 +28,12 @@ class EventKind(str, Enum):
     SPEC_COMMIT = "spec_commit"           # covered iterations were committed
     SPEC_ROLLBACK = "spec_rollback"       # mid-execution abort (misprediction, unknown path)
     GUARD_FALLBACK = "guard_fallback"     # guarded verification failed; scalar rollback
+    # covered execution (record-free release of a characterized region).
+    # Covering is disabled while an observer is attached — observation
+    # needs the record stream — so these mark where an *unobserved* run
+    # would drop to the covered tier, and where it would re-arm.
+    LOOP_COVERED = "loop_covered"         # region qualified for covered execution
+    COVER_REARM = "cover_rearm"           # a phase change forced the traced loop back
     # engines
     NEON_DISPATCH = "neon_dispatch"       # vector instructions dispatched (burst or architectural)
     # core
@@ -58,6 +64,8 @@ EVENT_FIELDS: dict[EventKind, frozenset] = {
     EventKind.SPEC_START: frozenset({"loop_id", "loop_kind", "limit"}),
     EventKind.SPEC_COMMIT: frozenset({"loop_id", "covered"}),
     EventKind.SPEC_ROLLBACK: frozenset({"loop_id", "reason"}),
+    EventKind.LOOP_COVERED: frozenset({"loop_id", "mode"}),
+    EventKind.COVER_REARM: frozenset({"loop_id", "reason"}),
     EventKind.GUARD_FALLBACK: frozenset({"loop_id", "cause"}),
     EventKind.NEON_DISPATCH: frozenset({"instructions", "source"}),
     EventKind.RUN_BEGIN: frozenset(),

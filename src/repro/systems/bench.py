@@ -47,6 +47,17 @@ class BenchRun:
     guest_mips: float
     legacy_host_seconds: float | None = None   # with predecode=False
     speedup: float | None = None               # legacy / predecoded
+    #: execution-tier residency (instructions retired per tier); names the
+    #: ladder rung a cell actually ran on, so a regression can be blamed
+    #: on "matmul/neon_dsa fell off the covered tier" instead of guesswork
+    tier_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dominant_tier(self) -> str:
+        """The tier that retired the most instructions ("-" when unknown)."""
+        if not self.tier_counts:
+            return "-"
+        return max(self.tier_counts.items(), key=lambda kv: kv[1])[0]
 
     def to_dict(self) -> dict:
         d = {
@@ -61,6 +72,8 @@ class BenchRun:
         if self.legacy_host_seconds is not None:
             d["legacy_host_seconds"] = round(self.legacy_host_seconds, 6)
             d["speedup"] = round(self.speedup, 3)
+        if self.tier_counts:
+            d["tier_counts"] = {k: self.tier_counts[k] for k in sorted(self.tier_counts)}
         return d
 
 
@@ -133,10 +146,13 @@ class BenchReport:
         return "\n".join(lines)
 
 
-def _time_spec(spec: RunSpec, config: CPUConfig, repeats: int) -> tuple[float, int, int]:
+def _time_spec(
+    spec: RunSpec, config: CPUConfig, repeats: int
+) -> tuple[float, int, int, dict[str, int]]:
     """Best-of-N wall time of one live (uncached) simulation."""
     best = float("inf")
     instructions = cycles = 0
+    tiers: dict[str, int] = {}
     if repeats == 1:
         # a lone timed run would charge one-time process warmup (imports,
         # codegen exec, bytecode specialization) to the measurement and
@@ -148,7 +164,8 @@ def _time_spec(spec: RunSpec, config: CPUConfig, repeats: int) -> tuple[float, i
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         instructions, cycles = result.instructions, result.cycles
-    return best, instructions, cycles
+        tiers = dict(result.tier_counts)  # deterministic: same every repeat
+    return best, instructions, cycles, tiers
 
 
 def run_bench(
@@ -189,7 +206,7 @@ def run_bench(
             spec = RunSpec(workload=workload, system=system, scale=scale)
             if progress is not None:
                 progress(spec.label)
-            host, instructions, cycles = _time_spec(spec, predecoded, repeats)
+            host, instructions, cycles, tiers = _time_spec(spec, predecoded, repeats)
             run = BenchRun(
                 label=spec.label,
                 workload=workload,
@@ -198,9 +215,10 @@ def run_bench(
                 cycles=cycles,
                 host_seconds=host,
                 guest_mips=instructions / host / 1e6 if host > 0 else 0.0,
+                tier_counts=tiers,
             )
             if compare_legacy:
-                legacy_host, _, _ = _time_spec(spec, legacy, repeats)
+                legacy_host, _, _, _ = _time_spec(spec, legacy, repeats)
                 run.legacy_host_seconds = legacy_host
                 run.speedup = legacy_host / host if host > 0 else 0.0
             report.runs.append(run)
@@ -213,8 +231,14 @@ def check_baseline(report: BenchReport, baseline: dict, tolerance: float = 0.25)
     Returns a list of regression messages (empty = within tolerance).  Only
     slowdowns count: being faster than the baseline is never a failure.
     The aggregate is the gating number; individual (workload, system) cells
-    gate only at twice the tolerance, since small kernels are noisy.  But
-    an aggregate failure always *names* every cell that slowed beyond the
+    gate at twice the tolerance, since small kernels are noisy — except
+    DSA-system cells, which gate at the plain tolerance: they are exactly
+    the cells covered execution accelerates, so a regression there means a
+    characterized region stopped releasing to the fast tiers and must not
+    hide inside an otherwise-healthy aggregate.  Every gating DSA message
+    names the (workload, system, tier) triple — the dominant execution
+    tier pinpoints *which* ladder rung the cell fell off.  An aggregate
+    failure always additionally names every cell that slowed beyond the
     plain tolerance, worst first — "the aggregate regressed" alone is not
     actionable; "matmul/neon_dsa is 40% slower" is.
     """
@@ -237,11 +261,17 @@ def check_baseline(report: BenchReport, baseline: dict, tolerance: float = 0.25)
         if base_mips <= 0:
             continue
         ratio = run.guest_mips / base_mips
+        dsa_cell = run.system.endswith("_dsa")
+        cell = (
+            f"({run.workload}, {run.system}, tier={run.dominant_tier})"
+            if dsa_cell
+            else f"{run.workload}/{run.system}"
+        )
         message = (
-            f"{run.workload}/{run.system}: {run.guest_mips:.2f} MIPS vs "
+            f"{cell}: {run.guest_mips:.2f} MIPS vs "
             f"baseline {base_mips:.2f} MIPS ({1 - ratio:.0%} slower)"
         )
-        if ratio < 1 - 2 * tolerance:
+        if ratio < 1 - (tolerance if dsa_cell else 2 * tolerance):
             gating.append(message)
         elif ratio < 1 - tolerance:
             suspects.append((ratio, message))

@@ -175,9 +175,9 @@ def execute_spec(
     )
 
 
-def _worker_run(task: tuple, attempt: int) -> tuple[str, float, str | None]:
+def _worker_run(task: tuple, attempt: int) -> tuple[str, float, str | None, str | None]:
     """Isolated-worker entry point: returns (canonical JSON, compute secs,
-    profile JSON or ``None``).
+    profile JSON or ``None``, tier-residency JSON or ``None``).
 
     Worker-level faults from the plan are applied *here*, inside the
     sacrificial process, before any simulation work starts — a crash,
@@ -207,7 +207,15 @@ def _worker_run(task: tuple, attempt: int) -> tuple[str, float, str | None]:
         if observer is not None
         else None
     )
-    return json.dumps(result.to_dict(), sort_keys=True), time.perf_counter() - start, profile
+    # tier residency is not part of result identity, so it crosses the
+    # process boundary beside the result rather than inside it
+    tiers = json.dumps(result.tier_counts, sort_keys=True) if result.tier_counts else None
+    return (
+        json.dumps(result.to_dict(), sort_keys=True),
+        time.perf_counter() - start,
+        profile,
+        tiers,
+    )
 
 
 def _canonical(result: RunResult) -> RunResult:
@@ -428,6 +436,7 @@ class CampaignRunner:
         results: dict[RunSpec, RunResult] = {}
         failures: dict[RunSpec, RunFailure] = {}
         profiles: dict[RunSpec, dict] = {}
+        tiers: dict[RunSpec, dict] = {}
         keys: dict[RunSpec, str] = {}
         pending: list[RunSpec] = []
         seen: set[RunSpec] = set()
@@ -473,7 +482,7 @@ class CampaignRunner:
                     obs.emit(EventKind.CACHE_MISS, cache="disk", key=keys[spec][:16])
 
         if pending:
-            self._compute(pending, keys, results, walls, failures, profiles)
+            self._compute(pending, keys, results, walls, failures, profiles, tiers)
             for spec in pending:
                 if spec in results:
                     sources[spec] = "computed"
@@ -490,6 +499,7 @@ class CampaignRunner:
             m = RunMetrics.for_run(
                 spec.to_dict(), results[spec], sources[spec], walls[spec],
                 profile=profiles.get(spec),
+                tier_counts=tiers.get(spec),
             )
             metrics.append(m)
             if self.progress is not None:
@@ -552,6 +562,7 @@ class CampaignRunner:
         walls: dict[RunSpec, float],
         failures: dict[RunSpec, RunFailure],
         profiles: dict[RunSpec, dict],
+        tiers: dict[RunSpec, dict],
     ) -> None:
         plan = self.fault_plan
         # Worker faults hard-exit or hang: they must only ever run inside a
@@ -566,11 +577,11 @@ class CampaignRunner:
             ))
         )
         if not needs_isolation:
-            self._compute_inline(pending, keys, results, walls, failures, profiles)
+            self._compute_inline(pending, keys, results, walls, failures, profiles, tiers)
         else:
-            self._compute_isolated(pending, keys, results, walls, failures, profiles)
+            self._compute_isolated(pending, keys, results, walls, failures, profiles, tiers)
 
-    def _compute_inline(self, pending, keys, results, walls, failures, profiles) -> None:
+    def _compute_inline(self, pending, keys, results, walls, failures, profiles, tiers) -> None:
         for spec in pending:
             attempt = 0
             while True:
@@ -578,16 +589,19 @@ class CampaignRunner:
                 observer = Observer() if self.observe else None
                 run_start = time.perf_counter()
                 try:
-                    result = _canonical(
-                        execute_spec(
-                            spec,
-                            cpu_config=self.cpu_config,
-                            guard=self.guard,
-                            plan=self.fault_plan,
-                            max_seconds=self.timeout,
-                            observer=observer,
-                        )
+                    live = execute_spec(
+                        spec,
+                        cpu_config=self.cpu_config,
+                        guard=self.guard,
+                        plan=self.fault_plan,
+                        max_seconds=self.timeout,
+                        observer=observer,
                     )
+                    # captured before _canonical: the round-trip drops
+                    # everything that is not result identity
+                    if live.tier_counts:
+                        tiers[spec] = dict(live.tier_counts)
+                    result = _canonical(live)
                 except Exception as exc:  # noqa: BLE001 - captured as RunFailure
                     wall = time.perf_counter() - run_start
                     if attempt <= self.retries:
@@ -610,15 +624,17 @@ class CampaignRunner:
                 self._store(spec, keys, result)
                 break
 
-    def _compute_isolated(self, pending, keys, results, walls, failures, profiles) -> None:
+    def _compute_isolated(self, pending, keys, results, walls, failures, profiles, tiers) -> None:
         def on_complete(index: int, outcome: IsolatedOutcome) -> None:
             spec = pending[index]
             if outcome.ok:
-                encoded, secs, profile = outcome.value
+                encoded, secs, profile, tier_enc = outcome.value
                 results[spec] = RunResult.from_dict(json.loads(encoded))
                 walls[spec] = secs
                 if profile is not None:
                     profiles[spec] = json.loads(profile)
+                if tier_enc is not None:
+                    tiers[spec] = json.loads(tier_enc)
                 # incremental: each result is durable the moment it exists,
                 # so a later crash/interrupt can never lose it
                 self._store(spec, keys, results[spec])

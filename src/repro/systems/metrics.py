@@ -51,6 +51,13 @@ class RunResult:
     dsa_stats: DSAStats | None = None
     backend: str = "neon"       # vector backend the run executed on
     vl: int = 128               # vector length in bits
+    #: host-side execution-tier residency (legacy/traced/fast/compiled/
+    #: bulk/covered → instructions retired there).  Pure observability:
+    #: two byte-identical runs may retire the same work in different
+    #: tiers (e.g. covered_execution on/off), so this never serializes
+    #: with the result, is excluded from equality, and rides live objects
+    #: only — it is re-homed onto :class:`RunMetrics` for reporting.
+    tier_counts: dict[str, int] = field(default_factory=dict, compare=False, repr=False)
 
     # -- the quantities the experiments derive -------------------------
     @property
@@ -83,11 +90,13 @@ class RunResult:
         # records, journals and cache payloads stay byte-identical
         if self.backend == "neon" and self.vl == 128:
             del d["backend"], d["vl"]
+        del d["tier_counts"]  # observability, never result identity
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResult":
         d = dict(d)
+        d.pop("tier_counts", None)  # never stored, tolerate hand-built dicts
         d["energy"] = EnergyReport(**d["energy"])
         if d.get("dsa_stats") is not None:
             stats = dict(d["dsa_stats"])
@@ -124,6 +133,7 @@ def summarize_run(
         dsa_stats=result.dsa_stats,
         backend=backend,
         vl=vl,
+        tier_counts=dict(core_result.tier_counts),
     )
 
 
@@ -144,6 +154,10 @@ class RunMetrics:
     guest_mips: float = 0.0          # guest MIPS of a live run; 0.0 for hits
     fallback_causes: dict | None = None  # guard-rollback causes, if a DSA ran
     profile: dict | None = None      # RunProfile.to_dict() when observed live
+    #: execution-tier residency of a live run (instructions retired per
+    #: tier: legacy/traced/fast/compiled/bulk/covered); None for cache
+    #: hits, which did no simulation
+    tier_counts: dict | None = None
 
     @property
     def cache_hit(self) -> bool:
@@ -157,6 +171,7 @@ class RunMetrics:
         source: str,
         wall_time_s: float,
         profile: dict | None = None,
+        tier_counts: dict | None = None,
     ) -> "RunMetrics":
         # Host-side throughput is observability, never result identity: a
         # cache hit did no simulation, so it reports 0.0 — which is also
@@ -178,6 +193,9 @@ class RunMetrics:
             guest_mips=guest_mips,
             fallback_causes=dict(result.dsa_stats.fallback_causes) if result.dsa_stats else None,
             profile=profile,
+            tier_counts=tier_counts if tier_counts else (
+                dict(result.tier_counts) if result.tier_counts else None
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -195,6 +213,7 @@ class RunMetrics:
             "guest_mips": round(self.guest_mips, 4),
             "fallback_causes": self.fallback_causes,
             "profile": self.profile,
+            "tier_counts": self.tier_counts,
         }
 
     @classmethod

@@ -220,7 +220,7 @@ class Supervisor:
             outcomes = await asyncio.to_thread(executor.run, [(task, attempt)])
             outcome = outcomes[0]
             if outcome.ok:
-                encoded, _secs, _profile = outcome.value
+                encoded, _secs, _profile, _tiers = outcome.value
                 result = json.loads(encoded)
                 self.runner.disk.store(key, {"spec": spec.to_dict(), "result": result})
                 self._deaths.pop(job.cell, None)
