@@ -19,7 +19,8 @@ Configuration mistakes (unknown workload, experiment, system, ...) print a
 one-line error naming the valid choices and exit with status 2 — never a
 raw traceback.  A campaign that runs to completion but could not finish
 every spec reports each failure by label and exits with status 3; a bench
-throughput regression against ``--check-baseline`` exits with status 4.
+throughput regression against ``--check-baseline`` exits with status 4; a
+loop-class coverage deficit under ``stats --gate`` exits with status 5.
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ from .systems.report import ComparisonReport, DSACoverageReport
 from .systems.result_cache import ResultDiskCache
 from .systems.setups import DSA_STAGES, SYSTEM_NAMES, lower_for
 from .vector import BACKEND_NAMES, VALID_VECTOR_LENGTHS
-from .workloads import PAPER_WORKLOADS, load
+from .workloads import ALL_WORKLOADS, PAPER_WORKLOADS, load
 
 
 def _progress(done: int, total: int, metrics: RunMetrics) -> None:
@@ -117,9 +118,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.workload not in PAPER_WORKLOADS:
+    if args.workload not in ALL_WORKLOADS:
         raise ConfigError(
-            f"unknown workload {args.workload!r}; valid choices: {sorted(PAPER_WORKLOADS)}"
+            f"unknown workload {args.workload!r}; valid choices: {sorted(ALL_WORKLOADS)}"
         )
     systems = [args.system] if args.system else list(SYSTEM_NAMES)
     if "arm_original" not in systems:
@@ -284,6 +285,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .observe import LoopCoverageReport, PAPER_LOOP_CLASSES
     from .systems.campaign import MICRO_PREFIX
+    from .workloads.coverage import evaluate_gate
+
+    # the gate is static (classifier over the registered kernels' IR): it
+    # needs no simulation, so --gate alone is a milliseconds-fast CI step
+    gate = evaluate_gate(required=args.required)
+    if args.gate:
+        if args.json:
+            print(json.dumps(gate.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(gate.table())
+        return 0 if gate.passed else 5
 
     runner = _runner_from(args, progress=None if args.json else _progress)
     # the NEON backend is fixed at VL=128; --vl only widens the scalable one
@@ -321,9 +333,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         record = report.to_dict()
         record["degradation"] = outcome.degradation
         record["tier_residency"] = tier_residency
+        record["coverage_gate"] = gate.to_dict()
         print(json.dumps(record, indent=2, sort_keys=True))
     else:
         print(report.table())
+        print(
+            "coverage gate: " + ("PASS" if gate.passed else "FAIL")
+            + " (details: repro stats --gate)"
+        )
         total = sum(tier_residency.values())
         if total:
             print("tier residency: " + ", ".join(
@@ -502,17 +519,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
-    for name in PAPER_WORKLOADS:
+    # paper benchmarks first (registry order), then the streaming family
+    for name in ALL_WORKLOADS:
         workload = load(name, args.scale)
-        print(f"{name:12s} [{workload.dlp_level:6s}] {workload.description}")
-        print(f"{'':12s} loops: {workload.loop_note}")
+        family = "paper" if name in PAPER_WORKLOADS else "streaming"
+        print(f"{name:16s} [{workload.dlp_level:6s}|{family:9s}] {workload.description}")
+        print(f"{'':16s} loops: {workload.loop_note}")
+        if workload.loop_classes:
+            print(f"{'':16s} classes: {', '.join(workload.loop_classes)}")
     return 0
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
-    if args.workload not in PAPER_WORKLOADS:
+    if args.workload not in ALL_WORKLOADS:
         raise ConfigError(
-            f"unknown workload {args.workload!r}; valid choices: {sorted(PAPER_WORKLOADS)}"
+            f"unknown workload {args.workload!r}; valid choices: {sorted(ALL_WORKLOADS)}"
         )
     workload = load(args.workload, args.scale)
     lowered = lower_for(args.system, workload)
@@ -664,6 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vl", type=int, default=128, choices=VALID_VECTOR_LENGTHS,
                    help="vector length in bits for the scalable backend (default: 128)")
     p.add_argument("--json", action="store_true", help="emit the coverage record as JSON")
+    p.add_argument("--gate", action="store_true",
+                   help="evaluate only the static loop-class coverage gate; "
+                        "exit 5 unless every paper loop class is exercised by "
+                        "enough registered workloads")
+    p.add_argument("--required", type=int, default=2, metavar="N",
+                   help="workloads required per loop class for the gate (default: 2)")
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_stats)
 

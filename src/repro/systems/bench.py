@@ -28,9 +28,10 @@ BENCH_VERSION = 1
 
 #: the default bench matrix: one high-DLP, one medium, one low workload on
 #: every system keeps the run under a minute while touching both run loops
-#: (record-free fast path and the traced DSA path)
-DEFAULT_WORKLOADS = ("matmul", "rgb_gray", "bitcount")
-QUICK_WORKLOADS = ("matmul", "rgb_gray")
+#: (record-free fast path and the traced DSA path); the streaming cells
+#: add the sentinel-heavy and gather/scatter simulation shapes
+DEFAULT_WORKLOADS = ("matmul", "rgb_gray", "bitcount", "delim_scan", "stride_histogram")
+QUICK_WORKLOADS = ("matmul", "rgb_gray", "delim_scan")
 QUICK_SYSTEMS = ("arm_original", "neon_dsa")
 
 

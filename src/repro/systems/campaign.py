@@ -34,7 +34,7 @@ from ..cpu.config import DEFAULT_CPU_CONFIG, CPUConfig
 from ..energy.params import DEFAULT_ENERGY_PARAMS
 from ..errors import ConfigError, InjectedFaultError, ReproError, RunTimeoutError
 from ..faults import WORKER_FAULT_KINDS, FaultPlan, build_injector
-from ..workloads import PAPER_WORKLOADS, load
+from ..workloads import ALL_WORKLOADS, PAPER_WORKLOADS, load
 from ..workloads.base import Workload, check_scale
 from ..observe import Observer
 from ..observe.events import EventKind
@@ -78,6 +78,8 @@ class RunSpec:
             # original) are one run, one cache entry
             object.__setattr__(self, "dsa_stage", "-")
         check_scale(self.scale)
+        if self.seed is not None and int(self.seed) < 0:
+            raise ConfigError(f"workload seed must be non-negative, got {self.seed}")
         from ..vector import BACKEND_NAMES, VALID_VECTOR_LENGTHS
 
         if self.backend not in BACKEND_NAMES:
@@ -119,7 +121,7 @@ class RunSpec:
 
 
 def build_workload(spec: RunSpec) -> Workload:
-    """Materialize the workload a spec names (paper benchmark or micro)."""
+    """Materialize the workload a spec names (paper, streaming or micro)."""
     if spec.workload.startswith(MICRO_PREFIX):
         kind = spec.workload[len(MICRO_PREFIX):]
         try:
@@ -129,9 +131,9 @@ def build_workload(spec: RunSpec) -> Workload:
                 f"unknown microkernel {kind!r}; available: {sorted(LOOP_TYPE_MICROKERNELS)}"
             ) from None
         return builder(seed=spec.seed)
-    if spec.workload not in PAPER_WORKLOADS:
+    if spec.workload not in ALL_WORKLOADS:
         raise ConfigError(
-            f"unknown workload {spec.workload!r}; available: {sorted(PAPER_WORKLOADS)} "
+            f"unknown workload {spec.workload!r}; available: {sorted(ALL_WORKLOADS)} "
             f"or micro:<{('|'.join(sorted(LOOP_TYPE_MICROKERNELS)))}>"
         )
     return load(spec.workload, spec.scale, seed=spec.seed)

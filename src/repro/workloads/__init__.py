@@ -1,7 +1,8 @@
-"""Workloads: MiBench/OpenCV substitutes + loop-type microkernels."""
+"""Workloads: MiBench/OpenCV substitutes, streaming family, microkernels."""
 
 from . import bitcount, dijkstra, gaussian, matmul, qsort, rgb_gray, susan, synthetic
 from .base import SCALES, Workload
+from .streaming import STREAMING_WORKLOADS
 from .synthetic import LOOP_TYPE_MICROKERNELS
 
 #: the seven paper benchmarks, in the order of Article 3's figures
@@ -15,17 +16,23 @@ PAPER_WORKLOADS = {
     "qsort": qsort.build,
 }
 
+#: every loadable full workload: paper benchmarks first (their registry
+#: stays exactly the paper's seven), then the streaming byte-parallel
+#: family.  The default campaign/experiment matrices remain paper-only;
+#: streaming workloads are reached by explicit name.
+ALL_WORKLOADS = {**PAPER_WORKLOADS, **STREAMING_WORKLOADS}
+
 
 def load(name: str, scale: str = "test", seed: int | None = None) -> Workload:
-    """Build one of the paper's benchmarks at the given scale.
+    """Build a registered workload (paper or streaming) at the given scale.
 
     ``seed`` overrides the workload's baked-in input RNG seed (``None``
     keeps the default, so golden outputs are unchanged).
     """
     try:
-        builder = PAPER_WORKLOADS[name]
+        builder = ALL_WORKLOADS[name]
     except KeyError:
-        raise KeyError(f"unknown workload {name!r}; available: {sorted(PAPER_WORKLOADS)}") from None
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(ALL_WORKLOADS)}") from None
     return builder(scale, seed=seed)
 
 
@@ -37,6 +44,8 @@ __all__ = [
     "SCALES",
     "Workload",
     "PAPER_WORKLOADS",
+    "STREAMING_WORKLOADS",
+    "ALL_WORKLOADS",
     "LOOP_TYPE_MICROKERNELS",
     "load",
     "load_all",

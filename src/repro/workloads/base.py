@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from ..compiler.ir import Kernel
+from ..errors import ConfigError
 
 #: named problem sizes: unit tests stay fast, benches look like the paper
 SCALES = ("test", "bench", "full")
@@ -34,6 +35,11 @@ class Workload:
     description: str = ""
     loop_note: str = ""                 # which paper loop types it exercises
     seed: int | None = None             # RNG seed the generator actually used
+    #: declared paper loop classes (see ``repro.observe.stats
+    #: .PAPER_LOOP_CLASSES``); the coverage gate cross-checks every
+    #: declaration against the static classifier, so a workload cannot
+    #: claim a class its kernel does not actually contain
+    loop_classes: tuple[str, ...] = ()
 
     def fresh_args(self) -> dict:
         """A new, independent argument set (arrays are copied)."""
@@ -48,12 +54,33 @@ class Workload:
 
 
 def check_scale(scale: str) -> str:
+    """Validate a named problem size (uniform across every builder).
+
+    Raises :class:`~repro.errors.ConfigError` — the CLI maps it to exit
+    status 2, the same contract as every other configuration mistake.
+    """
     if scale not in SCALES:
-        raise ValueError(f"unknown scale {scale!r}; pick one of {SCALES}")
+        raise ConfigError(f"unknown scale {scale!r}; pick one of {SCALES}")
     return scale
+
+
+def check_size(n: int, what: str = "size") -> int:
+    """Validate an explicit element count (microkernel builders)."""
+    if int(n) <= 0:
+        raise ConfigError(f"workload {what} must be positive, got {n}")
+    return int(n)
 
 
 def resolve_seed(seed: int | None, default: int) -> int:
     """Pick the generator seed: the caller's, or the workload's baked-in
-    default (which keeps the golden outputs of the paper runs unchanged)."""
-    return default if seed is None else int(seed)
+    default (which keeps the golden outputs of the paper runs unchanged).
+
+    Negative seeds are a configuration mistake (``numpy`` would reject
+    them deep inside a worker process with a raw traceback otherwise).
+    """
+    if seed is None:
+        return default
+    seed = int(seed)
+    if seed < 0:
+        raise ConfigError(f"workload seed must be non-negative, got {seed}")
+    return seed

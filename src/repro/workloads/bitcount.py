@@ -115,4 +115,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"SWAR popcount over a zero-terminated buffer of {n} words",
         loop_note="sentinel scan loop + dynamic-range popcount loop",
         seed=seed,
+        loop_classes=("sentinel", "dynamic_range"),
     )

@@ -144,4 +144,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"single-source shortest paths, {n}-node dense graph",
         loop_note="dynamic-range init loop, sequential min-scan, conditional relaxation loop",
         seed=seed,
+        loop_classes=("conditional", "dynamic_range"),
     )

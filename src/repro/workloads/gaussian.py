@@ -77,4 +77,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"separable 3x3 Gaussian blur on a {h}x{w} image",
         loop_note="count loops with stencil streams",
         seed=seed,
+        loop_classes=("count",),
     )

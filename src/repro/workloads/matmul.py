@@ -72,4 +72,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"{n}x{n} integer matrix multiply (ikj order)",
         loop_note="count loops (inner), nested outer loops",
         seed=seed,
+        loop_classes=("count", "non_vectorizable"),
     )

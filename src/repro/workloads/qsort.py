@@ -128,4 +128,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"iterative quicksort of {n} integers",
         loop_note="sentinel-style work loop + dynamic-range conditional partition (non-vectorizable)",
         seed=seed,
+        loop_classes=("conditional", "sentinel", "dynamic_range"),
     )

@@ -69,4 +69,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"RGB->luminance over {n} pixels (u16 channels)",
         loop_note="count loop, 8-lane u16",
         seed=seed,
+        loop_classes=("count",),
     )

@@ -1,0 +1,523 @@
+"""Streaming byte-parallel workloads (delimiter scan, UTF-8, base64, histogram).
+
+The paper's central claim is that run-time DLP detection wins precisely on
+the loop classes static vectorization fumbles — sentinel, conditional and
+dynamic-range loops.  The seven MiBench-style kernels cluster in the easy
+count/function classes, so this family adds the real-world stress case:
+byte-parallel streaming loops in the style of "Scanning HTML at Tens of
+Gigabytes per Second on ARM Processors" (PAPERS.md), plus the
+gather/scatter and irregular-stride shapes of Khadem et al.'s mobile
+vector benchmark analysis.
+
+Four kernels, each authored in the same IR → ``repro.isa`` lowering path
+as the paper benchmarks, with deterministic seeded generators and numpy
+scalar references:
+
+``delim_scan``        sentinel-exit scan of a zero-terminated byte buffer,
+                      then a conditional delimiter/quote marking pass and a
+                      dynamic-range case-fold pass over the found length;
+``utf8_validate``     conditional multi-way dispatch on UTF-8 byte classes
+                      with a carried continuation-state machine;
+``base64_decode``     function-class loop: table-lookup gathers feed
+                      bit-packing helper functions, 4 symbols → 3 bytes;
+``stride_histogram``  irregular-stride gather + data-dependent scatter
+                      (hist[vals[idx[i]]] += 1), then an offset-accumulate
+                      smoothing pass (the partial-vectorization class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.dtypes import DType
+from ..compiler.ir import (
+    ArrayParam,
+    Binary,
+    BinOp,
+    Call,
+    CmpOp,
+    Compare,
+    Const,
+    For,
+    Function,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Return,
+    ScalarParam,
+    Store,
+    Var,
+    While,
+    add,
+    mul,
+    shl,
+    shr,
+    sub,
+)
+from .base import Workload, check_scale, resolve_seed
+
+#: live bytes per scale (every kernel shares the ladder, like _SIZES
+#: in the paper benchmarks: unit tests stay fast, benches look real)
+_SIZES = {"test": 224, "bench": 2048, "full": 8192}
+
+#: ASCII codes the delimiter scanner marks
+_DELIM = 0x2C   # ','
+_QUOTE = 0x22   # '"'
+
+#: base64 alphabet (the RFC 4648 order), as byte values
+_B64_ALPHABET = np.frombuffer(
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/",
+    dtype=np.uint8,
+)
+
+#: histogram geometry: 64 buckets, smoothing pass at dependence distance 16
+_BUCKETS = 64
+_SMOOTH_DISTANCE = 16
+
+
+# ---------------------------------------------------------------------------
+# delim_scan — sentinel + conditional + dynamic-range
+# ---------------------------------------------------------------------------
+def _delim_scan_kernel() -> Kernel:
+    i, j = Var("i"), Var("j")
+    body = [
+        # stage 1: sentinel scan — the length is only known when the
+        # zero terminator is hit (the class static vectorizers never claim)
+        Let("len", Const(0)),
+        While(
+            Compare(Load("src", Var("len")), CmpOp.NE, Const(0)),
+            [
+                Store("buf", Var("len"), Load("src", Var("len"))),
+                Let("len", add(Var("len"), Const(1))),
+            ],
+        ),
+        # stage 2: conditional multi-way mark over the discovered length
+        For(
+            "i", Const(0), Var("len"),
+            [
+                If(
+                    Compare(Load("buf", i), CmpOp.EQ, Var("delim")),
+                    [Store("flags", i, Const(1))],
+                    [
+                        If(
+                            Compare(Load("buf", i), CmpOp.EQ, Var("quote")),
+                            [Store("flags", i, Const(2))],
+                            [Store("flags", i, Const(0))],
+                        )
+                    ],
+                )
+            ],
+        ),
+        # stage 3: dynamic-range case fold (bound arrived in a register)
+        For(
+            "j", Const(0), Var("len"),
+            [Store("fold", j, Binary(BinOp.OR, Load("buf", j), Const(0x20)))],
+        ),
+    ]
+    return Kernel(
+        "delim_scan",
+        [
+            ArrayParam("src", DType.U8),
+            ArrayParam("buf", DType.U8),
+            ArrayParam("flags", DType.U8),
+            ArrayParam("fold", DType.U8),
+            ScalarParam("delim"),
+            ScalarParam("quote"),
+        ],
+        body,
+    )
+
+
+def delim_scan(scale: str = "test", seed: int | None = None) -> Workload:
+    n = _SIZES[check_scale(scale)]
+    seed = resolve_seed(seed, 17)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(seed)
+        # printable bytes with delimiters/quotes sprinkled in; never 0
+        src = rng.integers(0x21, 0x7F, n + 8).astype(np.uint8)
+        marks = rng.random(n) < 0.15
+        src[:n][marks] = np.where(rng.random(int(marks.sum())) < 0.5, _DELIM, _QUOTE)
+        src[n:] = 0  # the sentinel (and padding)
+        return {
+            "src": src,
+            "buf": np.zeros(n + 8, np.uint8),
+            "flags": np.full(n + 8, 0xFF, np.uint8),
+            "fold": np.zeros(n + 8, np.uint8),
+            "delim": _DELIM,
+            "quote": _QUOTE,
+        }
+
+    def golden(args: dict) -> dict:
+        src = args["src"]
+        length = int(np.argmin(src != 0)) if (src == 0).any() else len(src)
+        buf = np.zeros(len(src), np.uint8)
+        buf[:length] = src[:length]
+        flags = args["flags"].copy()
+        live = buf[:length]
+        flags[:length] = np.where(
+            live == args["delim"], 1, np.where(live == args["quote"], 2, 0)
+        ).astype(np.uint8)
+        fold = np.zeros(len(src), np.uint8)
+        fold[:length] = live | 0x20
+        return {"buf": buf, "flags": flags, "fold": fold}
+
+    return Workload(
+        name="delim_scan",
+        dlp_level="medium",
+        kernel=_delim_scan_kernel(),
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["buf", "flags", "fold"],
+        description=f"delimiter/quote scan of a zero-terminated {n}-byte buffer",
+        loop_note="sentinel scan + conditional mark + dynamic-range fold",
+        seed=seed,
+        loop_classes=("sentinel", "conditional", "dynamic_range"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# utf8_validate — conditional multi-way dispatch with carried state
+# ---------------------------------------------------------------------------
+def _utf8_error(i: Var) -> list:
+    """The shared invalid-byte path: class 8, count it, reset the state."""
+    return [
+        Store("cls", i, Const(8)),
+        Let("bad", add(Var("bad"), Const(1))),
+        Let("state", Const(0)),
+    ]
+
+
+def _utf8_kernel() -> Kernel:
+    i, b = Var("i"), Var("b")
+    lead_dispatch = [
+        If(
+            Compare(b, CmpOp.LT, Const(0x80)),
+            [Store("cls", i, Const(1))],                       # ASCII
+            [
+                If(
+                    Compare(b, CmpOp.LT, Const(0xC2)),
+                    _utf8_error(i),                            # stray continuation / overlong lead
+                    [
+                        If(
+                            Compare(b, CmpOp.LT, Const(0xE0)),
+                            [Store("cls", i, Const(2)), Let("state", Const(1))],
+                            [
+                                If(
+                                    Compare(b, CmpOp.LT, Const(0xF0)),
+                                    [Store("cls", i, Const(3)), Let("state", Const(2))],
+                                    [
+                                        If(
+                                            Compare(b, CmpOp.LT, Const(0xF5)),
+                                            [Store("cls", i, Const(4)), Let("state", Const(3))],
+                                            _utf8_error(i),    # > U+10FFFF lead
+                                        )
+                                    ],
+                                )
+                            ],
+                        )
+                    ],
+                )
+            ],
+        )
+    ]
+    continuation = [
+        If(
+            Compare(b, CmpOp.LT, Const(0x80)),
+            _utf8_error(i),
+            [
+                If(
+                    Compare(b, CmpOp.GT, Const(0xBF)),
+                    _utf8_error(i),
+                    [
+                        Store("cls", i, Const(9)),             # valid continuation
+                        Let("state", sub(Var("state"), Const(1))),
+                    ],
+                )
+            ],
+        )
+    ]
+    body = [
+        Let("state", Const(0)),
+        Let("bad", Const(0)),
+        For(
+            "i", Const(0), Var("n"),
+            [
+                Let("b", Load("src", i)),
+                If(Compare(Var("state"), CmpOp.GT, Const(0)), continuation, lead_dispatch),
+            ],
+        ),
+        Store("errs", Const(0), Var("bad")),
+    ]
+    return Kernel(
+        "utf8_validate",
+        [
+            ArrayParam("src", DType.U8),
+            ArrayParam("cls", DType.U8),
+            ArrayParam("errs", DType.I32),
+            ScalarParam("n"),
+        ],
+        body,
+    )
+
+
+def _utf8_golden_scan(src: np.ndarray, n: int) -> tuple[np.ndarray, int]:
+    """Scalar reference of the kernel's exact state machine."""
+    cls = np.zeros(len(src), np.uint8)
+    state = bad = 0
+    for i in range(n):
+        b = int(src[i])
+        if state > 0:
+            if 0x80 <= b <= 0xBF:
+                cls[i] = 9
+                state -= 1
+            else:
+                cls[i] = 8
+                bad += 1
+                state = 0
+        elif b < 0x80:
+            cls[i] = 1
+        elif b < 0xC2:
+            cls[i] = 8
+            bad += 1
+        elif b < 0xE0:
+            cls[i] = 2
+            state = 1
+        elif b < 0xF0:
+            cls[i] = 3
+            state = 2
+        elif b < 0xF5:
+            cls[i] = 4
+            state = 3
+        else:
+            cls[i] = 8
+            bad += 1
+    return cls, bad
+
+
+def utf8_validate(scale: str = "test", seed: int | None = None) -> Workload:
+    n = _SIZES[check_scale(scale)]
+    seed = resolve_seed(seed, 19)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(seed)
+        out: list[int] = []
+        while len(out) < n:
+            roll = rng.random()
+            if roll < 0.55:                          # ASCII run
+                out.extend(rng.integers(0x20, 0x7F, int(rng.integers(1, 6))).tolist())
+            elif roll < 0.75:                        # 2-byte sequence
+                out.extend([int(rng.integers(0xC2, 0xE0)), int(rng.integers(0x80, 0xC0))])
+            elif roll < 0.90:                        # 3-byte sequence
+                out.extend([int(rng.integers(0xE0, 0xF0))]
+                           + rng.integers(0x80, 0xC0, 2).tolist())
+            elif roll < 0.96:                        # 4-byte sequence
+                out.extend([int(rng.integers(0xF0, 0xF5))]
+                           + rng.integers(0x80, 0xC0, 3).tolist())
+            else:                                    # corruption
+                out.append(int(rng.integers(0x80, 0x100)))
+        src = np.array(out[:n], np.uint8)
+        return {
+            "src": src,
+            "cls": np.zeros(n, np.uint8),
+            "errs": np.zeros(4, np.int32),
+            "n": n,
+        }
+
+    def golden(args: dict) -> dict:
+        cls, bad = _utf8_golden_scan(args["src"], args["n"])
+        errs = np.zeros(4, np.int32)
+        errs[0] = bad
+        return {"cls": cls, "errs": errs}
+
+    return Workload(
+        name="utf8_validate",
+        dlp_level="low",
+        kernel=_utf8_kernel(),
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["cls", "errs"],
+        description=f"UTF-8 byte-class validation of {n} bytes",
+        loop_note="conditional loop (multi-way dispatch, carried state machine)",
+        seed=seed,
+        loop_classes=("conditional",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# base64_decode — function loop with table-lookup gathers
+# ---------------------------------------------------------------------------
+def _b64_sym(p: Var | Binary, k: int):
+    """Decoded 6-bit value of input symbol ``p + k`` (table gather)."""
+    index = p if k == 0 else add(p, Const(k))
+    return Load("tab", Load("enc", index))
+
+
+def _base64_kernel() -> Kernel:
+    pack_ab = Function(
+        "pack_ab", ["a", "b"],
+        [Return(Binary(BinOp.OR, shl(Var("a"), 2), shr(Var("b"), 4)))],
+    )
+    pack_bc = Function(
+        "pack_bc", ["b", "c"],
+        [Return(Binary(
+            BinOp.OR, shl(Binary(BinOp.AND, Var("b"), Const(15)), 4), shr(Var("c"), 2)
+        ))],
+    )
+    pack_cd = Function(
+        "pack_cd", ["c", "d"],
+        [Return(Binary(
+            BinOp.OR, shl(Binary(BinOp.AND, Var("c"), Const(3)), 6), Var("d")
+        ))],
+    )
+    p, q = Var("p"), Var("q")
+    body = [
+        For(
+            "g", Const(0), Var("groups"),
+            [
+                Let("p", mul(Var("g"), Const(4))),
+                Let("q", mul(Var("g"), Const(3))),
+                Store("out", q, Call("pack_ab", (_b64_sym(p, 0), _b64_sym(p, 1)))),
+                Store("out", add(q, Const(1)), Call("pack_bc", (_b64_sym(p, 1), _b64_sym(p, 2)))),
+                Store("out", add(q, Const(2)), Call("pack_cd", (_b64_sym(p, 2), _b64_sym(p, 3)))),
+            ],
+        )
+    ]
+    return Kernel(
+        "base64_decode",
+        [
+            ArrayParam("enc", DType.U8),
+            ArrayParam("tab", DType.U8),
+            ArrayParam("out", DType.U8),
+            ScalarParam("groups"),
+        ],
+        body,
+        functions=[pack_ab, pack_bc, pack_cd],
+    )
+
+
+def base64_decode(scale: str = "test", seed: int | None = None) -> Workload:
+    groups = _SIZES[check_scale(scale)] // 4
+    seed = resolve_seed(seed, 23)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 64, groups * 4).astype(np.uint8)
+        enc = _B64_ALPHABET[values]
+        tab = np.zeros(256, np.uint8)
+        tab[_B64_ALPHABET] = np.arange(64, dtype=np.uint8)
+        return {
+            "enc": enc,
+            "tab": tab,
+            "out": np.zeros(groups * 3, np.uint8),
+            "groups": groups,
+        }
+
+    def golden(args: dict) -> dict:
+        vals = args["tab"][args["enc"]].astype(np.uint16)
+        a, b, c, d = vals[0::4], vals[1::4], vals[2::4], vals[3::4]
+        out = np.empty(len(a) * 3, np.uint8)
+        out[0::3] = ((a << 2) | (b >> 4)).astype(np.uint8)
+        out[1::3] = (((b & 15) << 4) | (c >> 2)).astype(np.uint8)
+        out[2::3] = (((c & 3) << 6) | d).astype(np.uint8)
+        return {"out": out[: args["groups"] * 3]}
+
+    return Workload(
+        name="base64_decode",
+        dlp_level="low",
+        kernel=_base64_kernel(),
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["out"],
+        description=f"base64 decode of {groups * 4} symbols ({groups * 3} bytes)",
+        loop_note="function loop (bit-pack helpers) over table-lookup gathers",
+        seed=seed,
+        loop_classes=("function",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# stride_histogram — irregular-stride gather/scatter + partial smoothing
+# ---------------------------------------------------------------------------
+def _histogram_kernel() -> Kernel:
+    i, j, b = Var("i"), Var("j"), Var("b")
+    body = [
+        # stage 1: permuted gather + data-dependent scatter (the shape the
+        # DSA's stream detector must refuse: no affine address stream)
+        For(
+            "i", Const(0), Var("n"),
+            [
+                Let("b", Binary(BinOp.AND, Load("vals", Load("idx", i)), Const(_BUCKETS - 1))),
+                Store("hist", b, add(Load("hist", b), Const(1))),
+            ],
+        ),
+        # stage 2: offset accumulate over the buckets — a cross-iteration
+        # dependency at constant distance (the partial-vectorization class)
+        For(
+            "j", Const(0), Const(_BUCKETS - _SMOOTH_DISTANCE),
+            [
+                Store(
+                    "smooth", add(j, Const(_SMOOTH_DISTANCE)),
+                    add(Load("smooth", j), Load("hist", j)),
+                )
+            ],
+        ),
+    ]
+    return Kernel(
+        "stride_histogram",
+        [
+            ArrayParam("vals", DType.U8),
+            ArrayParam("idx", DType.I32),
+            ArrayParam("hist", DType.I32),
+            ArrayParam("smooth", DType.I32),
+            ScalarParam("n"),
+        ],
+        body,
+    )
+
+
+def stride_histogram(scale: str = "test", seed: int | None = None) -> Workload:
+    n = _SIZES[check_scale(scale)]
+    seed = resolve_seed(seed, 29)
+
+    def make_args() -> dict:
+        rng = np.random.default_rng(seed)
+        return {
+            "vals": rng.integers(0, 256, n).astype(np.uint8),
+            "idx": rng.permutation(n).astype(np.int32),
+            "hist": np.zeros(_BUCKETS, np.int32),
+            "smooth": np.arange(_BUCKETS, dtype=np.int32),
+            "n": n,
+        }
+
+    def golden(args: dict) -> dict:
+        gathered = args["vals"][args["idx"]] & (_BUCKETS - 1)
+        hist = np.bincount(gathered, minlength=_BUCKETS).astype(np.int32)
+        hist += args["hist"]
+        smooth = args["smooth"].copy()
+        for j in range(_BUCKETS - _SMOOTH_DISTANCE):
+            smooth[j + _SMOOTH_DISTANCE] = smooth[j] + hist[j]
+        return {"hist": hist, "smooth": smooth}
+
+    return Workload(
+        name="stride_histogram",
+        dlp_level="low",
+        kernel=_histogram_kernel(),
+        make_args=make_args,
+        golden=golden,
+        output_arrays=["hist", "smooth"],
+        description=f"permuted-gather histogram of {n} bytes into {_BUCKETS} buckets",
+        loop_note="irregular gather/scatter (non-vectorizable) + offset accumulate (partial)",
+        seed=seed,
+        loop_classes=("non_vectorizable", "partial"),
+    )
+
+
+#: the streaming family, in documentation order
+STREAMING_WORKLOADS = {
+    "delim_scan": delim_scan,
+    "utf8_validate": utf8_validate,
+    "base64_decode": base64_decode,
+    "stride_histogram": stride_histogram,
+}

@@ -113,4 +113,5 @@ def build(scale: str = "test", seed: int | None = None) -> Workload:
         description=f"SUSAN-style edge thresholding over {n} pixels",
         loop_note="count loop + conditional (if/else) loop",
         seed=seed,
+        loop_classes=("count", "conditional"),
     )

@@ -31,11 +31,12 @@ from ..compiler.ir import (
     mul,
     sub,
 )
-from .base import Workload, resolve_seed
+from .base import Workload, check_size, resolve_seed
 
 
 def vecsum(n: int = 256, seed: int | None = None) -> Workload:
     """Count loop: out[i] = a[i] + b[i]."""
+    n = check_size(n)
     kernel = Kernel(
         "vecsum",
         [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
@@ -59,11 +60,13 @@ def vecsum(n: int = 256, seed: int | None = None) -> Workload:
         output_arrays=["out"],
         description=f"element-wise sum of {n} i32",
         loop_note="count loop",
+        loop_classes=("count",),
     )
 
 
 def saxpy(n: int = 256, seed: int | None = None) -> Workload:
     """Count loop over float32 lanes: y[i] = a*x[i] + y[i]."""
+    n = check_size(n)
     kernel = Kernel(
         "saxpy",
         [ArrayParam("x", DType.F32), ArrayParam("y", DType.F32), ArrayParam("af", DType.F32)],
@@ -97,11 +100,13 @@ def saxpy(n: int = 256, seed: int | None = None) -> Workload:
         output_arrays=["y"],
         description=f"saxpy over {n} float32",
         loop_note="count loop, f32 lanes",
+        loop_classes=("count",),
     )
 
 
 def threshold(n: int = 256, seed: int | None = None) -> Workload:
     """Conditional loop: out[i] = a[i] > t ? a[i] : -a[i]."""
+    n = check_size(n)
     kernel = Kernel(
         "threshold",
         [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ScalarParam("t")],
@@ -136,11 +141,13 @@ def threshold(n: int = 256, seed: int | None = None) -> Workload:
         output_arrays=["out"],
         description=f"conditional absolute value over {n} i32",
         loop_note="conditional loop (if/else)",
+        loop_classes=("conditional",),
     )
 
 
 def strcopy(n: int = 200, valid: int | None = None, seed: int | None = None) -> Workload:
     """Sentinel loop: copy until the zero terminator."""
+    n = check_size(n)
     valid = valid if valid is not None else (3 * n) // 4
     kernel = Kernel(
         "strcopy",
@@ -175,12 +182,14 @@ def strcopy(n: int = 200, valid: int | None = None, seed: int | None = None) -> 
         output_arrays=["dst"],
         description=f"sentinel-terminated copy, {valid} live of {n}",
         loop_note="sentinel loop",
+        loop_classes=("sentinel",),
     )
 
 
 def repeated_strcopy(n: int = 256, valid: int | None = None, repeats: int = 6, seed: int | None = None) -> Workload:
     """Sentinel loop executed repeatedly: the learned speculative range
     (paper Fig. 23) covers nearly the whole loop from the second run on."""
+    n = check_size(n)
     valid = valid if valid is not None else (3 * n) // 4
     body = [
         Let("i", Const(0)),
@@ -219,11 +228,13 @@ def repeated_strcopy(n: int = 256, valid: int | None = None, repeats: int = 6, s
         output_arrays=["dst"],
         description=f"{repeats} sentinel-terminated passes over {valid} live of {n}",
         loop_note="sentinel loop, repeated (speculative-range learning)",
+        loop_classes=("count", "sentinel"),
     )
 
 
 def scaled_fill(n: int = 256, seed: int | None = None) -> Workload:
     """Dynamic range loop (type A): bound arrives in a register."""
+    n = check_size(n)
     kernel = Kernel(
         "scaled_fill",
         [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32), ScalarParam("n")],
@@ -247,11 +258,13 @@ def scaled_fill(n: int = 256, seed: int | None = None) -> Workload:
         output_arrays=["out"],
         description=f"runtime-sized scale of {n} i32",
         loop_note="dynamic range loop (type A)",
+        loop_classes=("dynamic_range",),
     )
 
 
 def offset_accumulate(n: int = 128, distance: int = 24, seed: int | None = None) -> Workload:
     """Partial-vectorization loop: out[i+d] = out[i] + a[i]."""
+    n = check_size(n)
     kernel = Kernel(
         "offset_accumulate",
         [ArrayParam("a", DType.I32), ArrayParam("out", DType.I32)],
@@ -282,11 +295,13 @@ def offset_accumulate(n: int = 128, distance: int = 24, seed: int | None = None)
         output_arrays=["out"],
         description=f"cross-iteration accumulate at distance {distance}",
         loop_note="partial vectorization (CID at a distance)",
+        loop_classes=("partial",),
     )
 
 
 def clamp_map(n: int = 128, seed: int | None = None) -> Workload:
     """Function loop: out[i] = f(a[i]) with a straight-line helper."""
+    n = check_size(n)
     f = Function("affine", ["x"], [Return(add(mul(Var("x"), Const(3)), Const(11)))])
     kernel = Kernel(
         "clamp_map",
@@ -310,11 +325,13 @@ def clamp_map(n: int = 128, seed: int | None = None) -> Workload:
         output_arrays=["out"],
         description=f"function-call map over {n} i32",
         loop_note="function loop",
+        loop_classes=("function",),
     )
 
 
 def dotprod(n: int = 128, seed: int | None = None) -> Workload:
     """Reduction: intrinsically non-vectorizable on every system here."""
+    n = check_size(n)
     kernel = Kernel(
         "dotprod",
         [ArrayParam("a", DType.I32), ArrayParam("b", DType.I32), ArrayParam("out", DType.I32)],
@@ -345,6 +362,7 @@ def dotprod(n: int = 128, seed: int | None = None) -> Workload:
         output_arrays=["out"],
         description=f"dot product of {n} i32 (carry-around scalar)",
         loop_note="reduction (non-vectorizable)",
+        loop_classes=("non_vectorizable",),
     )
 
 

@@ -1,0 +1,44 @@
+"""Regenerate tests/workloads/golden_streaming.json.
+
+Run ONLY after an intentional architectural-model change (latencies, cache
+geometry, DSA policy, energy inputs...) — never to paper over an identity
+failure you can't explain:
+
+    PYTHONPATH=src python tests/workloads/regen_golden_streaming.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.systems.campaign import RunSpec, execute_spec
+from repro.workloads.streaming import STREAMING_WORKLOADS
+
+OUT = Path(__file__).with_name("golden_streaming.json")
+
+
+def main() -> None:
+    golden = {
+        "_note": (
+            "Golden RunResult snapshot of every streaming workload on "
+            "neon_dsa (seed=3, scale=test). Pins both vector backends at "
+            "VL=128. Regenerate ONLY on an intentional architectural-model "
+            "change: PYTHONPATH=src python tests/workloads/regen_golden_streaming.py"
+        ),
+    }
+    for name in sorted(STREAMING_WORKLOADS):
+        spec = RunSpec(name, "neon_dsa", seed=3)
+        d = execute_spec(spec).to_dict()
+        golden[name] = {
+            "cycles": d["cycles"],
+            "instructions": d["instructions"],
+            "digest": hashlib.sha256(
+                json.dumps(d, sort_keys=True).encode()
+            ).hexdigest(),
+        }
+    OUT.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT} ({len(golden) - 1} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,9 @@ class TestRegistry:
             load("nope")
 
     def test_bad_scale_raises(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
             load("matmul", "gigantic")
 
     def test_load_all(self):
